@@ -1,0 +1,146 @@
+"""E8 — Claim C5: automatic dependency resolution with stop-at-provided.
+
+"Whenever a consumer subscribes to the metadata item of interest, a
+depth-first traversal of the dependency graph is performed ... The traversal
+stops at items already provided."  (Section 2.4)
+
+Three measurements on deep dependency chains and shared sub-DAGs:
+
+1. cold inclusion work (handlers created) vs chain depth d;
+2. warm inclusion of an overlapping item: stop-at-provided shares the
+   already-included suffix, so only the non-shared prefix is created;
+3. the dynamic-dependency ablation of Section 4.4.3: item A computable from
+   B *or* C; with the dynamic resolver, subscribing A while C is included
+   avoids the whole B subtree.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import VirtualClock
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+DEPTHS = (2, 8, 32, 128)
+
+
+class _Owner:
+    name = "bench-node"
+
+
+def make_registry():
+    clock = VirtualClock()
+    system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+    owner = _Owner()
+    registry = MetadataRegistry(owner, system)
+    owner.metadata = registry
+    return system, registry
+
+
+def define_chain(registry, prefix: str, depth: int, shared_tail=None):
+    """items prefix0 <- prefix1 <- ... ; optionally rooted on a shared key."""
+    keys = [MetadataKey(f"{prefix}{i}") for i in range(depth)]
+    base_deps = [SelfDep(shared_tail)] if shared_tail is not None else []
+    registry.define(MetadataDefinition(
+        keys[0], Mechanism.TRIGGERED, compute=lambda ctx: 0,
+        dependencies=base_deps,
+    ))
+    for i in range(1, depth):
+        registry.define(MetadataDefinition(
+            keys[i], Mechanism.TRIGGERED, compute=lambda ctx: 0,
+            dependencies=[SelfDep(keys[i - 1])],
+        ))
+    return keys
+
+
+def run_cold(depth: int):
+    system, registry = make_registry()
+    keys = define_chain(registry, "c", depth)
+    subscription = registry.subscribe(keys[-1])
+    created = system.handlers_created
+    subscription.cancel()
+    removed = system.handlers_removed
+    return created, removed
+
+
+def run_warm_overlap(depth: int):
+    """Two chains sharing the bottom half; second subscribe reuses it."""
+    system, registry = make_registry()
+    shared = define_chain(registry, "shared", depth)
+    define_chain(registry, "left", depth, shared_tail=shared[-1])
+    define_chain(registry, "right", depth, shared_tail=shared[-1])
+    left_top = MetadataKey(f"left{depth - 1}")
+    right_top = MetadataKey(f"right{depth - 1}")
+    s_left = registry.subscribe(left_top)
+    cold_created = system.handlers_created           # left chain + shared
+    s_right = registry.subscribe(right_top)
+    warm_created = system.handlers_created - cold_created  # right chain only
+    s_left.cancel()
+    s_right.cancel()
+    return cold_created, warm_created
+
+
+def run_dynamic_dependency():
+    """Section 4.4.3: A from B (10-deep subtree) or C (already included)."""
+    results = {}
+    for use_dynamic in (False, True):
+        system, registry = make_registry()
+        b_chain = define_chain(registry, "b", 10)
+        c_key = MetadataKey("c")
+        registry.define(MetadataDefinition(c_key, Mechanism.STATIC, value=1))
+        a_key = MetadataKey("a")
+
+        static_deps = [SelfDep(b_chain[-1])]
+
+        def resolver(reg):
+            if reg.is_included(c_key):
+                return [SelfDep(c_key)]
+            return static_deps
+
+        registry.define(MetadataDefinition(
+            a_key, Mechanism.TRIGGERED, compute=lambda ctx: 0,
+            dependencies=resolver if use_dynamic else static_deps,
+        ))
+        c_sub = registry.subscribe(c_key)
+        before = system.included_handler_count
+        a_sub = registry.subscribe(a_key)
+        added = system.included_handler_count - before
+        a_sub.cancel()
+        c_sub.cancel()
+        results["dynamic" if use_dynamic else "static"] = added
+    return results
+
+
+def test_dependency_resolution(benchmark, report):
+    cold_rows = [(d, *run_cold(d)) for d in DEPTHS]
+    warm_rows = [(d, *run_warm_overlap(d)) for d in DEPTHS]
+    dynamic = run_dynamic_dependency()
+
+    lines = ["cold inclusion of a depth-d chain (handlers created/removed):",
+             f"{'depth':>6} {'created':>8} {'removed':>8}"]
+    for d, created, removed in cold_rows:
+        lines.append(f"{d:>6} {created:>8} {removed:>8}")
+    lines += ["",
+              "warm inclusion with a shared depth-d suffix "
+              "(stop-at-provided):",
+              f"{'depth':>6} {'1st subscribe':>14} {'2nd subscribe':>14}"]
+    for d, cold, warm in warm_rows:
+        lines.append(f"{d:>6} {cold:>14} {warm:>14}")
+    lines += ["",
+              "dynamic dependency redefinition (Section 4.4.3, A from B-subtree "
+              "or already-included C):",
+              f"  static dependency set : {dynamic['static']} handlers added",
+              f"  dynamic resolver      : {dynamic['dynamic']} handlers added"]
+    report("E8 / claim C5 — dependency traversal, sharing and dynamic "
+           "redefinition", lines)
+
+    for d, created, removed in cold_rows:
+        assert created == d          # exactly the chain
+        assert removed == d          # exclusion is symmetric
+    for d, cold, warm in warm_rows:
+        assert cold == 2 * d         # left chain + shared suffix
+        assert warm == d             # right chain only; suffix shared
+    assert dynamic["static"] == 11   # A + 10-item B subtree
+    assert dynamic["dynamic"] == 1   # A only; bound to the included C
+
+    benchmark.pedantic(lambda: run_cold(64), rounds=5, iterations=1)

@@ -1,0 +1,112 @@
+"""E6 — Claim C3: handler sharing saves redundant maintenance costs.
+
+"For the case that a handler already exists for the requested metadata item,
+the subscription returns the existing handler and increments a counter for
+this item.  Thus, sharing handlers saves redundant maintenance costs."
+(Section 2.1)
+
+M consumers subscribe to the same periodic input-rate item.  With the
+pub-sub architecture a single shared handler refreshes once per period,
+independent of M; the naive alternative (one private handler per consumer,
+modelled as M distinct item definitions with identical compute) refreshes M
+times per period.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConstantRate,
+    QueryGraph,
+    Schema,
+    SequentialValues,
+    SimulationExecutor,
+    Sink,
+    Source,
+    StreamDriver,
+    catalogue as md,
+)
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey
+
+HORIZON = 1000.0
+PERIOD = 50.0
+SWEEP = (1, 4, 16, 64, 128)
+
+
+def build():
+    graph = QueryGraph(default_metadata_period=PERIOD)
+    source = graph.add(Source("s", Schema(("x",))))
+    sink = graph.add(Sink("out"))
+    graph.connect(source, sink)
+    graph.freeze()
+    driver = StreamDriver(source, ConstantRate(0.2), SequentialValues())
+    return graph, source, driver
+
+
+def run_shared(consumers: int):
+    graph, source, driver = build()
+    subscriptions = [source.metadata.subscribe(md.OUTPUT_RATE)
+                     for _ in range(consumers)]
+    executor = SimulationExecutor(graph, [driver])
+    executor.run_until(HORIZON)
+    handler = subscriptions[0].handler
+    assert all(s.handler is handler for s in subscriptions)
+    computes = handler.compute_count
+    handlers = graph.metadata_system.included_handler_count
+    for subscription in subscriptions:
+        subscription.cancel()
+    return handlers, computes
+
+
+def run_private(consumers: int):
+    """The no-sharing baseline: each consumer gets a private clone item."""
+    graph, source, driver = build()
+    counter = {"n": 0}
+
+    def compute(ctx):
+        counter["n"] += 1
+        return 0.0
+
+    subscriptions = []
+    for i in range(consumers):
+        key = MetadataKey(f"private.rate{i}")
+        source.metadata.define(MetadataDefinition(
+            key, Mechanism.PERIODIC, period=PERIOD, compute=compute,
+        ))
+        subscriptions.append(source.metadata.subscribe(key))
+    executor = SimulationExecutor(graph, [driver])
+    executor.run_until(HORIZON)
+    handlers = graph.metadata_system.included_handler_count
+    for subscription in subscriptions:
+        subscription.cancel()
+    return handlers, counter["n"]
+
+
+def test_handler_sharing(benchmark, report):
+    rows = []
+    for m in SWEEP:
+        shared_handlers, shared_computes = run_shared(m)
+        private_handlers, private_computes = run_private(m)
+        rows.append((m, shared_handlers, shared_computes,
+                     private_handlers, private_computes))
+
+    lines = [f"M consumers of one periodic rate item "
+             f"(period {PERIOD:.0f}u over {HORIZON:.0f}u)",
+             "",
+             f"{'M':>4} | {'shared:handlers':>15} {'shared:computes':>15} | "
+             f"{'private:handlers':>16} {'private:computes':>16}"]
+    for m, sh, sc, ph, pc in rows:
+        lines.append(f"{m:>4} | {sh:>15} {sc:>15} | {ph:>16} {pc:>16}")
+    lines += ["",
+              f"shared maintenance is O(1) in M; private is O(M) "
+              f"({rows[-1][4] / rows[-1][2]:.0f}x at M={SWEEP[-1]})"]
+    report("E6 / claim C3 — handler sharing vs per-consumer handlers", lines)
+
+    # Sharing: one handler, constant computes; private: M handlers, M-fold
+    # computes.
+    for m, sh, sc, ph, pc in rows:
+        assert sh == 1
+        assert ph == m
+    assert rows[0][2] == rows[-1][2]
+    assert rows[-1][4] >= rows[-1][2] * SWEEP[-1] * 0.9
+
+    benchmark.pedantic(lambda: run_shared(16), rounds=3, iterations=1)

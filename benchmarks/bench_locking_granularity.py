@@ -1,0 +1,132 @@
+"""E9 — Claim C6: fine-grained, three-level locking vs a global lock.
+
+"With regard to multi-threading, only the locks involved in the computation
+of the currently included metadata items are used to guarantee isolation."
+(Section 4.3)
+
+K reader threads each hammer the metadata of a *different* operator while
+the periodic worker refreshes items concurrently.  Under the paper's
+fine-grained policy (one RW lock per item), readers of different items never
+contend; under the coarse ablation (one global lock for everything) every
+access serialises.  We report read throughput and observed lock contention.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import (
+    CoarseLockPolicy,
+    ConstantRate,
+    Filter,
+    FineGrainedLockPolicy,
+    QueryGraph,
+    Schema,
+    SequentialValues,
+    Sink,
+    Source,
+    StreamDriver,
+    SystemClock,
+    ThreadedExecutor,
+    ThreadedScheduler,
+    catalogue as md,
+)
+
+N_OPERATORS = 4
+READERS_PER_OPERATOR = 2
+DURATION = 0.4  # seconds per policy run
+
+
+def build(policy):
+    clock = SystemClock()
+    graph = QueryGraph(
+        clock=clock,
+        scheduler=ThreadedScheduler(clock, pool_size=1),
+        lock_policy=policy,
+        default_metadata_period=0.02,
+    )
+    drivers = []
+    operators = []
+    for i in range(N_OPERATORS):
+        source = graph.add(Source(f"s{i}", Schema(("x",))))
+        fil = graph.add(Filter(f"f{i}", lambda e: True))
+        sink = graph.add(Sink(f"q{i}"))
+        graph.connect(source, fil)
+        graph.connect(fil, sink)
+        drivers.append(StreamDriver(source, ConstantRate(300.0),
+                                    SequentialValues(), seed=i))
+        operators.append(fil)
+    graph.freeze()
+    return graph, drivers, operators
+
+
+def run(policy_factory):
+    policy = policy_factory()
+    graph, drivers, operators = build(policy)
+    subscriptions = [op.metadata.subscribe(md.INPUT_RATE.q(0))
+                     for op in operators]
+    stop = threading.Event()
+    reads = [0] * (N_OPERATORS * READERS_PER_OPERATOR)
+
+    def reader(index: int, subscription) -> None:
+        while not stop.is_set():
+            subscription.get()
+            reads[index] += 1
+
+    threads = []
+    for i in range(N_OPERATORS):
+        for j in range(READERS_PER_OPERATOR):
+            thread = threading.Thread(
+                target=reader,
+                args=(i * READERS_PER_OPERATOR + j, subscriptions[i]),
+                daemon=True,
+            )
+            threads.append(thread)
+
+    executor = ThreadedExecutor(graph, drivers)
+    with executor:
+        for thread in threads:
+            thread.start()
+        time.sleep(DURATION)
+        stop.set()
+    for thread in threads:
+        thread.join(timeout=2.0)
+    for subscription in subscriptions:
+        subscription.cancel()
+    stats = policy.aggregate_stats()
+    total_reads = sum(reads)
+    return total_reads, stats
+
+
+def test_locking_granularity(benchmark, report):
+    fine_reads, fine_stats = run(FineGrainedLockPolicy)
+    coarse_reads, coarse_stats = run(CoarseLockPolicy)
+
+    def contention(stats):
+        total = stats.read_acquired + stats.write_acquired
+        contended = stats.read_contended + stats.write_contended
+        return contended, total, (contended / total if total else 0.0)
+
+    fine_contended, fine_total, fine_rate = contention(fine_stats)
+    coarse_contended, coarse_total, coarse_rate = contention(coarse_stats)
+
+    lines = [f"{N_OPERATORS} operators x {READERS_PER_OPERATOR} reader "
+             f"threads, {DURATION}s per policy, periodic pool + producers "
+             "running",
+             "",
+             f"{'policy':>14} {'metadata reads':>15} {'lock acquisitions':>18} "
+             f"{'contended':>10} {'contention%':>12}",
+             f"{'fine-grained':>14} {fine_reads:>15} {fine_total:>18} "
+             f"{fine_contended:>10} {100 * fine_rate:>11.2f}%",
+             f"{'global lock':>14} {coarse_reads:>15} {coarse_total:>18} "
+             f"{coarse_contended:>10} {100 * coarse_rate:>11.2f}%"]
+    report("E9 / claim C6 — three-level fine-grained locking vs one global "
+           "lock", lines)
+
+    # The paper's design contends (much) less than the global-lock ablation.
+    assert fine_rate < coarse_rate
+    assert fine_reads > 0 and coarse_reads > 0
+
+    benchmark.pedantic(lambda: run(FineGrainedLockPolicy), rounds=1,
+                       iterations=1)

@@ -1,0 +1,123 @@
+"""Core-operation microbenchmarks.
+
+Not tied to a paper figure — these keep an eye on the constant factors of
+the framework's hot paths: metadata reads through shared handlers, element
+throughput with and without active monitoring, and propagation waves.  The
+"monitoring off vs on" pair quantifies the paper's premise that inactive
+probes are nearly free.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConstantRate,
+    QueryGraph,
+    Schema,
+    SequentialValues,
+    SimulationExecutor,
+    Sink,
+    Source,
+    StreamDriver,
+    catalogue as md,
+)
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.operators.filter import Filter
+
+
+def pipeline(subscribe_metadata: bool):
+    graph = QueryGraph(default_metadata_period=1000.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    fil = graph.add(Filter("f", lambda e: True))
+    sink = graph.add(Sink("out"))
+    graph.connect(source, fil)
+    graph.connect(fil, sink)
+    graph.freeze()
+    subscriptions = []
+    if subscribe_metadata:
+        for key in (md.INPUT_RATE.q(0), md.SELECTIVITY, md.CPU_USAGE):
+            subscriptions.append(fil.metadata.subscribe(key))
+    return graph, source, fil, sink, subscriptions
+
+
+def test_element_throughput_monitoring_off(benchmark, report):
+    graph, source, fil, sink, _ = pipeline(subscribe_metadata=False)
+
+    def run():
+        for i in range(1000):
+            source.produce({"x": i}, float(i))
+            fil.step()
+            sink.step()
+
+    benchmark(run)
+    report("micro — element throughput, probes inactive",
+           [f"{1000 / benchmark.stats.stats.mean:,.0f} elements/second "
+            "(probes never record)"])
+
+
+def test_element_throughput_monitoring_on(benchmark, report):
+    graph, source, fil, sink, subs = pipeline(subscribe_metadata=True)
+
+    def run():
+        for i in range(1000):
+            source.produce({"x": i}, float(i))
+            fil.step()
+            sink.step()
+
+    benchmark(run)
+    report("micro — element throughput, 3 metadata items included",
+           [f"{1000 / benchmark.stats.stats.mean:,.0f} elements/second "
+            "(rate/selectivity/cost probes recording)"])
+
+
+def test_metadata_read_throughput(benchmark, report):
+    graph, source, fil, sink, subs = pipeline(subscribe_metadata=True)
+    subscription = subs[1]  # periodic: get() is a cached read
+
+    def run():
+        for _ in range(1000):
+            subscription.get()
+
+    benchmark(run)
+    report("micro — shared-handler reads",
+           [f"{1000 / benchmark.stats.stats.mean:,.0f} get() calls/second"])
+
+
+def test_subscribe_cancel_cycle(benchmark, report):
+    graph, source, fil, sink, _ = pipeline(subscribe_metadata=False)
+
+    def run():
+        subscription = fil.metadata.subscribe(md.AVG_INPUT_RATE.q(0))
+        subscription.cancel()
+
+    benchmark(run)
+    report("micro — subscribe+cancel of a 2-item cascade",
+           [f"{1 / benchmark.stats.stats.mean:,.0f} cycles/second"])
+
+
+def test_propagation_wave_throughput(benchmark, report):
+    graph, source, fil, sink, _ = pipeline(subscribe_metadata=False)
+    registry = fil.metadata
+    state = {"v": 0}
+    base = MetadataKey("micro.base")
+    registry.define(MetadataDefinition(
+        base, Mechanism.ON_DEMAND, compute=lambda ctx: state["v"],
+    ))
+    previous = base
+    for i in range(10):
+        key = MetadataKey(f"micro.d{i}")
+        registry.define(MetadataDefinition(
+            key, Mechanism.TRIGGERED,
+            compute=lambda ctx, dep=previous: ctx.value(dep) + 1,
+            dependencies=[SelfDep(previous)],
+        ))
+        previous = key
+    subscription = registry.subscribe(previous)
+
+    def run():
+        state["v"] += 1
+        registry.notify_changed(base)
+
+    benchmark(run)
+    report("micro — 10-deep triggered wave",
+           [f"{1 / benchmark.stats.stats.mean:,.0f} waves/second"])
+    subscription.cancel()

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md's
+per-experiment index (E1-E11): it runs the deterministic experiment, prints
+the paper-style table through :func:`report` (bypassing pytest's capture so
+the rows land in ``bench_output.txt``), asserts the qualitative claim, and
+registers a timing kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capfd):
+    """Print a paper-style experiment table.
+
+    Output is emitted with capture disabled so the rows are always visible
+    in the benchmark log (``pytest benchmarks/ --benchmark-only``).
+
+    Usage::
+
+        report("E4: maintenance cost vs #queries",
+               ["N  provide-all  on-demand", "1  123  17", ...])
+    """
+
+    def _report(title: str, lines: list[str]) -> None:
+        width = max([len(title)] + [len(line) for line in lines]) if lines else len(title)
+        with capfd.disabled():
+            print()
+            print("=" * width)
+            print(title)
+            print("-" * width)
+            for line in lines:
+                print(line)
+            print("=" * width)
+            sys.stdout.flush()
+
+    return _report

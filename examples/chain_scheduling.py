@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Chain scheduling as a metadata consumer — Section 1, application 1.
+
+"The Chain scheduling strategy [5] has to react to significant changes in
+operator selectivities to minimize the memory usage of inter-operator
+queues."
+
+This example runs the same overloaded filter chain twice — once under
+round-robin scheduling and once under Chain — and compares the queue memory
+over time.  Chain gets its selectivities *live* from the metadata framework:
+it subscribes to each operator's average selectivity and recomputes its
+progress-chart priorities as measurements arrive.
+
+Run with::
+
+    python examples/chain_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChainScheduler,
+    ConstantRate,
+    Filter,
+    QueryGraph,
+    RoundRobinScheduler,
+    Schema,
+    SequentialValues,
+    SimulationExecutor,
+    Sink,
+    Source,
+    StreamDriver,
+)
+
+ARRIVAL_RATE = 2.0       # elements per time unit
+SERVICE_CAPACITY = 2.5   # operator steps per time unit -> overloaded
+HORIZON = 2000.0
+
+
+def build():
+    graph = QueryGraph(default_metadata_period=50.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    # A very selective first filter (drops 90%) followed by two cheap
+    # pass-through stages: Chain should prioritise the selective one.
+    selective = graph.add(Filter("selective", lambda e: e.field("x") % 10 == 0))
+    stage2 = graph.add(Filter("stage2", lambda e: True))
+    stage3 = graph.add(Filter("stage3", lambda e: True))
+    sink = graph.add(Sink("out"))
+    for producer, consumer in [(source, selective), (selective, stage2),
+                               (stage2, stage3), (stage3, sink)]:
+        graph.connect(producer, consumer)
+    return graph, source
+
+
+def run(scheduler) -> tuple[list[float], list[float], int]:
+    graph, source = build()
+    executor = SimulationExecutor(
+        graph,
+        [StreamDriver(source, ConstantRate(ARRIVAL_RATE), SequentialValues())],
+        scheduler=scheduler,
+        service_capacity=SERVICE_CAPACITY,
+    )
+    times, queue_lengths = [], []
+
+    def sample(now: float) -> None:
+        times.append(now)
+        queue_lengths.append(graph.total_pending_elements())
+
+    executor.every(50.0, sample)
+    executor.run_until(HORIZON)
+    return times, queue_lengths, graph.sinks()[0].received
+
+
+def main() -> None:
+    rr_times, rr_queues, rr_results = run(RoundRobinScheduler())
+    chain = ChainScheduler(refresh_interval=100.0)
+    ch_times, ch_queues, ch_results = run(chain)
+
+    print("Overloaded filter chain: arrival 2.0/unit, capacity 2.5 steps/unit")
+    print(f"{'time':>6} {'round-robin queue':>18} {'chain queue':>12}")
+    for t, rr, ch in zip(rr_times, rr_queues, ch_queues):
+        if t % 200 == 0:
+            bar_rr = "#" * int(rr / 5)
+            print(f"{t:>6.0f} {rr:>18} {ch:>12}   rr:{bar_rr}")
+
+    rr_mean = sum(rr_queues) / len(rr_queues)
+    ch_mean = sum(ch_queues) / len(ch_queues)
+    print(f"\nmean queued elements: round-robin {rr_mean:.1f}  "
+          f"chain {ch_mean:.1f}  "
+          f"(chain saves {100 * (1 - ch_mean / rr_mean):.0f}%)")
+    print(f"results delivered: round-robin {rr_results}, chain {ch_results}")
+    print(f"chain recomputed its priorities {chain.priority_recomputations} "
+          f"times from live selectivity metadata")
+
+
+if __name__ == "__main__":
+    main()

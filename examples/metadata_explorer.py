@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Metadata discovery and introspection (Section 2.2, Section 1 app. 4).
+
+Builds a two-query plan with the fluent builder, then uses the introspection
+tooling to show
+
+1. the full published catalogue ("each node gives information about
+   available metadata items"),
+2. the *working set* after a couple of subscriptions — only the included
+   items carry handlers, and
+3. live handler statistics after the workload ran.
+
+Run with::
+
+    python examples/metadata_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConstantRate,
+    QueryBuilder,
+    QueryGraph,
+    Schema,
+    SimulationExecutor,
+    StreamDriver,
+    UniformValues,
+    catalogue as md,
+)
+from repro.metadata.introspect import render_report
+
+
+def main() -> None:
+    graph = QueryGraph(default_metadata_period=50.0)
+    qb = QueryBuilder(graph, prefix="demo")
+    trades = qb.source("trades", Schema(("sym", "px"), element_size=40))
+    filtered = trades.filter(lambda e: e.field("px") > 10, name="liquid")
+    filtered.window(200.0, name="win").aggregate("px", "avg", name="vwapish") \
+            .sink("dashboard", qos={"max_latency": 100})
+    filtered.sink("raw_feed")  # second query shares the filter
+    qb.apply()
+    graph.freeze()
+
+    print("== catalogue before any subscription (nothing maintained) ==")
+    print(render_report(graph.metadata_system, included_only=True) or
+          "(no items included)")
+
+    selectivity = graph.node("liquid").metadata.subscribe(md.SELECTIVITY)
+    memory = graph.node("vwapish").metadata.subscribe(md.MEMORY_USAGE)
+
+    executor = SimulationExecutor(graph, [
+        StreamDriver(graph.node("trades"), ConstantRate(0.5),
+                     UniformValues("px", 0, 100), seed=42),
+    ])
+    executor.run_until(1000.0)
+
+    print("\n== working set after two subscriptions and 1000 time units ==")
+    print(render_report(graph.metadata_system, included_only=True))
+
+    print("\n== full catalogue of the 'liquid' filter ==")
+    liquid = graph.node("liquid").metadata
+    for key in liquid.available_keys():
+        definition = liquid.describe(key)
+        marker = "*" if liquid.is_included(key) else " "
+        print(f"  {marker} {key!r:32} {definition.mechanism.value:<10} "
+              f"{definition.description[:60]}")
+
+    selectivity.cancel()
+    memory.cancel()
+    print(f"\nhandlers after cancelling: "
+          f"{graph.metadata_system.included_handler_count}")
+
+
+if __name__ == "__main__":
+    main()

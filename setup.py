@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can be installed in environments without the ``wheel``
+package (``python setup.py develop``) and for editors that expect it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,153 @@
+"""repro — dynamic metadata management for scalable stream processing.
+
+A from-scratch reproduction of
+
+    Michael Cammert, Jürgen Krämer, Bernhard Seeger:
+    "Dynamic Metadata Management for Scalable Stream Processing Systems",
+    ICDE 2007,
+
+including the PIPES-style stream-processing substrate the paper's framework
+lives in.  The public API re-exported here covers:
+
+* building query graphs (:class:`QueryGraph`, sources, operators, sinks),
+* subscribing to metadata (``node.metadata.subscribe(key)`` with the keys in
+  :mod:`repro.metadata.catalogue`),
+* running plans deterministically (:class:`SimulationExecutor`) or with real
+  threads (:class:`ThreadedExecutor`), and
+* the adaptation consumers (profiler, resource manager, load shedder,
+  plan-migration advisor).
+
+Quickstart::
+
+    from repro import (QueryGraph, Source, Sink, Schema, TimeWindow,
+                       SlidingWindowJoin, SimulationExecutor, StreamDriver,
+                       ConstantRate, catalogue as md)
+
+    graph = QueryGraph()
+    left = graph.add(Source("left", Schema(("k",))))
+    right = graph.add(Source("right", Schema(("k",))))
+    wl, wr = graph.add(TimeWindow("wl", 100.0)), graph.add(TimeWindow("wr", 100.0))
+    join = graph.add(SlidingWindowJoin("join", key_fn=lambda e: e.field("k")))
+    out = graph.add(Sink("out"))
+    for a, b in [(left, wl), (right, wr), (wl, join), (wr, join), (join, out)]:
+        graph.connect(a, b)
+    graph.freeze()
+
+    cpu = join.metadata.subscribe(md.EST_CPU_USAGE)   # includes the whole
+    ...                                               # Figure-3 cascade
+"""
+
+from repro.adaptation import (
+    AdaptiveResourceManager,
+    LoadShedder,
+    MetadataProfiler,
+    PlanMigrationAdvisor,
+    QoSMonitor,
+    Shedder,
+)
+from repro.common import (
+    Clock,
+    ReentrantRWLock,
+    ReproError,
+    SystemClock,
+    VirtualClock,
+)
+from repro.costmodel import estimated_vs_measured, install_estimates
+from repro.graph import (
+    GraphNode,
+    QueryBuilder,
+    Operator,
+    QueryGraph,
+    Schema,
+    Sink,
+    Source,
+    StreamElement,
+    StreamQueue,
+)
+from repro.metadata import (
+    CoarseLockPolicy,
+    FineGrainedLockPolicy,
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    MetadataRegistry,
+    MetadataSubscription,
+    MetadataSystem,
+    NoOpLockPolicy,
+    ThreadedScheduler,
+    VirtualTimeScheduler,
+    catalogue,
+)
+from repro.metadata.item import (
+    DownstreamDep,
+    ModuleDep,
+    NodeDep,
+    SelfDep,
+    UpstreamDep,
+)
+from repro.operators import (
+    CountWindow,
+    DistinctFilter,
+    Filter,
+    HashSweepArea,
+    ListSweepArea,
+    Map,
+    Project,
+    SlidingAggregate,
+    SlidingWindowJoin,
+    TimeWindow,
+    Union,
+)
+from repro.runtime import (
+    ChainScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    SimulationExecutor,
+    ThreadedExecutor,
+)
+from repro.sources import (
+    BurstyArrivals,
+    ConstantRate,
+    DriftingRate,
+    NormalValues,
+    PoissonArrivals,
+    SequentialValues,
+    StreamDriver,
+    Trace,
+    TraceReplayDriver,
+    UniformValues,
+    ZipfValues,
+    record_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "QueryGraph", "QueryBuilder", "GraphNode", "Source", "Operator", "Sink",
+    "Schema", "StreamElement", "StreamQueue",
+    # operators
+    "Filter", "DistinctFilter", "Map", "Project", "Union", "TimeWindow", "CountWindow",
+    "SlidingWindowJoin", "SlidingAggregate", "ListSweepArea", "HashSweepArea",
+    # metadata
+    "catalogue", "MetadataKey", "MetadataDefinition", "Mechanism",
+    "MetadataSystem", "MetadataRegistry", "MetadataSubscription",
+    "SelfDep", "UpstreamDep", "DownstreamDep", "NodeDep", "ModuleDep",
+    "VirtualTimeScheduler", "ThreadedScheduler",
+    "FineGrainedLockPolicy", "CoarseLockPolicy", "NoOpLockPolicy",
+    # runtime
+    "SimulationExecutor", "ThreadedExecutor",
+    "RoundRobinScheduler", "ChainScheduler", "PriorityScheduler",
+    # sources
+    "StreamDriver", "ConstantRate", "PoissonArrivals", "BurstyArrivals",
+    "DriftingRate", "UniformValues", "NormalValues", "ZipfValues",
+    "SequentialValues", "Trace", "TraceReplayDriver", "record_trace",
+    # cost model
+    "install_estimates", "estimated_vs_measured",
+    # adaptation
+    "MetadataProfiler", "AdaptiveResourceManager", "LoadShedder", "Shedder",
+    "PlanMigrationAdvisor", "QoSMonitor",
+    # common
+    "Clock", "VirtualClock", "SystemClock", "ReentrantRWLock", "ReproError",
+]

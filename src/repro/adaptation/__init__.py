@@ -1,0 +1,21 @@
+"""Metadata consumers: the motivating applications of Section 1."""
+
+from repro.adaptation.load_shedder import LoadShedder, Shedder, SheddingDecision
+from repro.adaptation.optimizer import MigrationRecommendation, PlanMigrationAdvisor
+from repro.adaptation.profiler import MetadataProfiler, TimeSeries
+from repro.adaptation.qos_monitor import QoSEpisode, QoSMonitor
+from repro.adaptation.resource_manager import AdaptiveResourceManager, AdjustmentEvent
+
+__all__ = [
+    "MetadataProfiler",
+    "QoSMonitor",
+    "QoSEpisode",
+    "TimeSeries",
+    "AdaptiveResourceManager",
+    "AdjustmentEvent",
+    "LoadShedder",
+    "Shedder",
+    "SheddingDecision",
+    "PlanMigrationAdvisor",
+    "MigrationRecommendation",
+]

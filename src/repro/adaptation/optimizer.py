@@ -1,0 +1,115 @@
+"""Runtime re-optimization advice from stream statistics (Section 1, app. 3).
+
+"Changes in stream characteristics, such as stream rates or value
+distributions, may necessitate re-optimizations at runtime, e.g., a left-deep
+join tree is migrated to its right-deep counterpart [25, 18]."
+
+The :class:`PlanMigrationAdvisor` is the metadata-consuming half of such an
+optimizer: it watches the estimated output rates feeding each join and, when
+the rate ratio between the inputs crosses a threshold (so the cheaper build
+side changed), it records a migration recommendation and invokes an optional
+callback.  Executing the migration itself (state hand-over à la HybMig [24])
+is outside the paper's scope — the paper's point is that *the statistics the
+optimizer needs are exactly the dynamic metadata this framework provides*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import GraphError
+from repro.graph.graph import QueryGraph
+from repro.metadata import catalogue as md
+from repro.metadata.registry import MetadataSubscription
+from repro.operators.join import SlidingWindowJoin
+
+__all__ = ["PlanMigrationAdvisor", "MigrationRecommendation"]
+
+
+@dataclass
+class MigrationRecommendation:
+    """Advice that a join's inputs should be swapped (plan migration)."""
+
+    time: float
+    join: str
+    left_rate: float
+    right_rate: float
+    ratio: float
+
+
+class PlanMigrationAdvisor:
+    """Watches join input rates and recommends plan migrations."""
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        ratio_threshold: float = 2.0,
+        callback: Optional[Callable[[MigrationRecommendation], None]] = None,
+        auto_migrate: bool = False,
+    ) -> None:
+        if ratio_threshold <= 1.0:
+            raise GraphError(
+                f"ratio threshold must exceed 1.0, got {ratio_threshold}"
+            )
+        self.graph = graph
+        self.ratio_threshold = ratio_threshold
+        self.callback = callback
+        #: execute recommendations via :meth:`SlidingWindowJoin.swap_inputs`
+        self.auto_migrate = auto_migrate
+        self.recommendations: list[MigrationRecommendation] = []
+        # join -> (left-rate subscription, right-rate subscription)
+        self._watched: list[tuple[SlidingWindowJoin,
+                                  MetadataSubscription, MetadataSubscription]] = []
+        #: which orientation each join currently has ("left" = port 0 is the
+        #: smaller/build side); flips after a recommendation so we do not
+        #: re-recommend the same migration every check.
+        self._orientation: dict[str, int] = {}
+        self._discover()
+
+    def _discover(self) -> None:
+        joins = [n for n in self.graph.nodes() if isinstance(n, SlidingWindowJoin)]
+        if not joins:
+            raise GraphError("no joins to advise on")
+        for join in joins:
+            left, right = join.upstream_nodes
+            self._watched.append((
+                join,
+                left.metadata.subscribe(md.EST_OUTPUT_RATE),
+                right.metadata.subscribe(md.EST_OUTPUT_RATE),
+            ))
+            self._orientation[join.name] = 0
+
+    def check(self, now: float) -> list[MigrationRecommendation]:
+        """One advisory step; call periodically."""
+        issued = []
+        for join, left_sub, right_sub in self._watched:
+            left_rate = left_sub.get()
+            right_rate = right_sub.get()
+            if left_rate <= 0 or right_rate <= 0:
+                continue
+            # Orientation 0 expects left <= right (build on the left); a
+            # recommendation flips the expectation.
+            if self._orientation[join.name] == 0:
+                ratio = left_rate / right_rate
+            else:
+                ratio = right_rate / left_rate
+            if ratio >= self.ratio_threshold:
+                recommendation = MigrationRecommendation(
+                    now, join.name, left_rate, right_rate, ratio
+                )
+                self.recommendations.append(recommendation)
+                issued.append(recommendation)
+                self._orientation[join.name] ^= 1
+                if self.auto_migrate:
+                    join.swap_inputs()
+                if self.callback is not None:
+                    self.callback(recommendation)
+        return issued
+
+    def close(self) -> None:
+        for _, left_sub, right_sub in self._watched:
+            for subscription in (left_sub, right_sub):
+                if subscription.active:
+                    subscription.cancel()
+        self._watched.clear()

@@ -1,0 +1,92 @@
+"""QoS monitoring — query-level metadata in action.
+
+Sinks publish an application-provided QoS specification (static metadata)
+and measured result latency (periodic).  The triggered ``query.qos_violation``
+item combines both; this monitor subscribes to it for every sink and records
+violation episodes, optionally invoking a callback so other components (load
+shedder, resource manager) can react — closing the loop the paper's Section 1
+sketches between query-level metadata and runtime adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import GraphError
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink
+from repro.metadata import catalogue as md
+from repro.metadata.registry import MetadataSubscription
+
+__all__ = ["QoSMonitor", "QoSEpisode"]
+
+
+@dataclass
+class QoSEpisode:
+    """One contiguous violation episode at a sink."""
+
+    sink: str
+    start: float
+    end: Optional[float] = None  # None while ongoing
+
+    @property
+    def ongoing(self) -> bool:
+        return self.end is None
+
+
+class QoSMonitor:
+    """Tracks QoS violations across all sinks of a graph."""
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        callback: Optional[Callable[[QoSEpisode], None]] = None,
+    ) -> None:
+        self.graph = graph
+        self.callback = callback
+        self.episodes: list[QoSEpisode] = []
+        self._open: dict[str, QoSEpisode] = {}
+        self._subscriptions: list[tuple[Sink, MetadataSubscription]] = []
+        sinks = graph.sinks()
+        if not sinks:
+            raise GraphError("graph has no sinks to monitor")
+        for sink in sinks:
+            self._subscriptions.append(
+                (sink, sink.metadata.subscribe(md.QOS_VIOLATION))
+            )
+
+    def check(self, now: float) -> list[QoSEpisode]:
+        """One monitoring step; returns episodes that *started* this step."""
+        started = []
+        for sink, subscription in self._subscriptions:
+            violating = bool(subscription.get())
+            open_episode = self._open.get(sink.name)
+            if violating and open_episode is None:
+                episode = QoSEpisode(sink.name, start=now)
+                self._open[sink.name] = episode
+                self.episodes.append(episode)
+                started.append(episode)
+                if self.callback is not None:
+                    self.callback(episode)
+            elif not violating and open_episode is not None:
+                open_episode.end = now
+                del self._open[sink.name]
+        return started
+
+    @property
+    def violating_sinks(self) -> list[str]:
+        return sorted(self._open)
+
+    def total_violation_time(self, now: float) -> float:
+        """Sum of episode durations, counting open episodes up to ``now``."""
+        total = 0.0
+        for episode in self.episodes:
+            total += (episode.end if episode.end is not None else now) - episode.start
+        return total
+
+    def close(self) -> None:
+        for _, subscription in self._subscriptions:
+            if subscription.active:
+                subscription.cancel()
+        self._subscriptions.clear()

@@ -1,0 +1,133 @@
+"""Adaptive resource management by window-size adaptation (Section 3.3, [9]).
+
+"In [9] we proposed an approach to adaptive resource management for sliding
+window queries that relies on adjustments to window sizes at runtime.
+Whenever the window size is changed by the resource manager, the cost
+estimations for the operator resource usage have to be updated according to
+our cost model."
+
+The :class:`AdaptiveResourceManager` subscribes to the estimated memory usage
+of the joins it manages.  When the total estimate exceeds the budget it
+shrinks the upstream windows (each :meth:`TimeWindow.set_size` fires the
+``window.size`` event, which triggers the validity → CPU/memory re-estimation
+cascade through the dependency graph); when usage falls well below budget it
+grows them back toward their preferred sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.errors import GraphError
+from repro.graph.graph import QueryGraph
+from repro.metadata import catalogue as md
+from repro.metadata.registry import MetadataSubscription
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import TimeWindow
+
+__all__ = ["AdaptiveResourceManager", "AdjustmentEvent"]
+
+
+@dataclass
+class AdjustmentEvent:
+    """One resource-manager decision, for auditing and benchmarks."""
+
+    time: float
+    action: str  # "shrink" | "grow"
+    total_estimate: float
+    budget: float
+    window_sizes: dict = field(default_factory=dict)
+
+
+class AdaptiveResourceManager:
+    """Keeps estimated join memory under a budget by resizing windows."""
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        memory_budget: float,
+        shrink_factor: float = 0.7,
+        grow_factor: float = 1.2,
+        low_watermark: float = 0.6,
+        min_window: float = 1.0,
+    ) -> None:
+        if memory_budget <= 0:
+            raise GraphError(f"memory budget must be positive, got {memory_budget}")
+        if not 0 < shrink_factor < 1 or grow_factor <= 1 or not 0 < low_watermark < 1:
+            raise GraphError("invalid resource-manager tuning parameters")
+        self.graph = graph
+        self.memory_budget = memory_budget
+        self.shrink_factor = shrink_factor
+        self.grow_factor = grow_factor
+        self.low_watermark = low_watermark
+        self.min_window = min_window
+        self.events: list[AdjustmentEvent] = []
+        self._subscriptions: list[MetadataSubscription] = []
+        self._windows: list[TimeWindow] = []
+        self._preferred: dict[str, float] = {}
+        self._discover()
+
+    def _discover(self) -> None:
+        """Find managed joins and their upstream window operators."""
+        joins = [n for n in self.graph.nodes() if isinstance(n, SlidingWindowJoin)]
+        if not joins:
+            raise GraphError("no sliding-window joins to manage")
+        for join in joins:
+            self._subscriptions.append(join.metadata.subscribe(md.EST_MEMORY_USAGE))
+            for upstream in join.upstream_nodes:
+                if isinstance(upstream, TimeWindow) and upstream not in self._windows:
+                    self._windows.append(upstream)
+                    self._preferred[upstream.name] = upstream.size
+        if not self._windows:
+            raise GraphError("managed joins have no upstream time windows")
+
+    # -- control loop --------------------------------------------------------
+
+    def total_estimated_memory(self) -> float:
+        return sum(subscription.get() for subscription in self._subscriptions)
+
+    def check(self, now: float) -> AdjustmentEvent | None:
+        """One control step; call periodically (e.g. ``executor.every``)."""
+        total = self.total_estimated_memory()
+        if total > self.memory_budget:
+            return self._adjust(now, "shrink", total)
+        if total < self.memory_budget * self.low_watermark and self._below_preferred():
+            return self._adjust(now, "grow", total)
+        return None
+
+    def _below_preferred(self) -> bool:
+        return any(
+            window.size < self._preferred[window.name] for window in self._windows
+        )
+
+    def _adjust(self, now: float, action: str, total: float) -> AdjustmentEvent:
+        factor = self.shrink_factor if action == "shrink" else self.grow_factor
+        sizes = {}
+        for window in self._windows:
+            new_size = window.size * factor
+            if action == "grow":
+                new_size = min(new_size, self._preferred[window.name])
+            new_size = max(new_size, self.min_window)
+            if new_size != window.size:
+                # Fires the window.size event -> triggered re-estimation
+                # cascade (Section 3.3).
+                window.set_size(new_size)
+            sizes[window.name] = window.size
+        event = AdjustmentEvent(now, action, total, self.memory_budget, sizes)
+        self.events.append(event)
+        return event
+
+    def close(self) -> None:
+        for subscription in self._subscriptions:
+            if subscription.active:
+                subscription.cancel()
+        self._subscriptions.clear()
+
+    @property
+    def shrink_count(self) -> int:
+        return sum(1 for e in self.events if e.action == "shrink")
+
+    @property
+    def grow_count(self) -> int:
+        return sum(1 for e in self.events if e.action == "grow")

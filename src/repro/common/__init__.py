@@ -1,0 +1,60 @@
+"""Shared substrate: clocks, locks, events, online statistics, errors."""
+
+from repro.common.clock import Clock, SystemClock, Timer, VirtualClock
+from repro.common.errors import (
+    CostModelError,
+    DependencyCycleError,
+    DuplicateMetadataError,
+    GraphError,
+    HandlerError,
+    LockUpgradeError,
+    MetadataError,
+    MetadataNotIncludedError,
+    QueueClosedError,
+    ReproError,
+    SchemaError,
+    SimulationError,
+    SubscriptionError,
+    UnknownMetadataError,
+    WiringError,
+)
+from repro.common.events import EventSource, Subscription
+from repro.common.rwlock import LockStats, ReentrantRWLock
+from repro.common.stats import (
+    Ewma,
+    OnlineMean,
+    OnlineVariance,
+    SlidingWindowStats,
+    WindowedCounter,
+)
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "Timer",
+    "VirtualClock",
+    "EventSource",
+    "Subscription",
+    "LockStats",
+    "ReentrantRWLock",
+    "Ewma",
+    "OnlineMean",
+    "OnlineVariance",
+    "SlidingWindowStats",
+    "WindowedCounter",
+    "ReproError",
+    "GraphError",
+    "WiringError",
+    "SchemaError",
+    "QueueClosedError",
+    "MetadataError",
+    "UnknownMetadataError",
+    "MetadataNotIncludedError",
+    "DuplicateMetadataError",
+    "DependencyCycleError",
+    "SubscriptionError",
+    "HandlerError",
+    "LockUpgradeError",
+    "SimulationError",
+    "CostModelError",
+]

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while letting genuine programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "WiringError",
+    "SchemaError",
+    "QueueClosedError",
+    "MetadataError",
+    "UnknownMetadataError",
+    "MetadataNotIncludedError",
+    "DuplicateMetadataError",
+    "DependencyCycleError",
+    "SubscriptionError",
+    "HandlerError",
+    "LockUpgradeError",
+    "SimulationError",
+    "CostModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A query-graph level error (unknown node, invalid operation, ...)."""
+
+
+class WiringError(GraphError):
+    """Nodes were connected in an invalid way (arity, direction, cycles)."""
+
+
+class SchemaError(GraphError):
+    """Stream schemas of connected nodes are incompatible."""
+
+
+class QueueClosedError(GraphError):
+    """An element was enqueued into a closed inter-operator queue."""
+
+
+class MetadataError(ReproError):
+    """Base class for errors of the metadata management framework."""
+
+
+class UnknownMetadataError(MetadataError):
+    """A metadata key was requested that the node does not provide."""
+
+    def __init__(self, node: object, key: object) -> None:
+        super().__init__(f"node {node!r} does not provide metadata item {key!r}")
+        self.node = node
+        self.key = key
+
+
+class MetadataNotIncludedError(MetadataError):
+    """A metadata item was accessed although it is currently not included."""
+
+
+class DuplicateMetadataError(MetadataError):
+    """A provider registered a metadata item that already exists on the node."""
+
+
+class DependencyCycleError(MetadataError):
+    """The metadata dependency graph contains a cycle."""
+
+    def __init__(self, cycle: list) -> None:
+        path = " -> ".join(repr(item) for item in cycle)
+        super().__init__(f"metadata dependency cycle detected: {path}")
+        self.cycle = cycle
+
+
+class SubscriptionError(MetadataError):
+    """Invalid subscription operation (e.g. unsubscribing twice)."""
+
+
+class HandlerError(MetadataError):
+    """A metadata handler failed to compute or refresh its value."""
+
+
+class LockUpgradeError(ReproError):
+    """A thread holding a read lock attempted to acquire the write lock."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven incorrectly."""
+
+
+class CostModelError(ReproError):
+    """The cost model was applied to an unsupported plan shape."""

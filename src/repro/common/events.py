@@ -1,0 +1,82 @@
+"""Light-weight event sources.
+
+Section 3.2.3 of the paper allows developers to "define a notification" for
+state changes of on-demand metadata (e.g. changes in the operator state or a
+window-size change by the resource manager).  :class:`EventSource` is the
+primitive such notifications are built on: listeners register a callback and
+receive every event published afterwards.
+
+The implementation is deliberately synchronous — an event is delivered before
+:meth:`EventSource.publish` returns — because triggered metadata updates must
+run to completion for the paper's consistency guarantees to hold.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, TypeVar
+
+__all__ = ["EventSource", "Subscription"]
+
+E = TypeVar("E")
+Listener = Callable[[E], None]
+
+
+class Subscription:
+    """Handle returned by :meth:`EventSource.listen`; detaches the listener."""
+
+    __slots__ = ("_source", "_listener", "_active")
+
+    def __init__(self, source: "EventSource[Any]", listener: Listener[Any]) -> None:
+        self._source = source
+        self._listener = listener
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        """Stop delivering events to the listener.  Idempotent."""
+        if self._active:
+            self._active = False
+            self._source._remove(self._listener)
+
+
+class EventSource(Generic[E]):
+    """A named, synchronous publish point for events of type ``E``."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._listeners: list[Listener[E]] = []
+        self.published_count = 0
+
+    def listen(self, listener: Listener[E]) -> Subscription:
+        """Register ``listener`` to be called for each published event."""
+        self._listeners.append(listener)
+        return Subscription(self, listener)
+
+    def _remove(self, listener: Listener[E]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def publish(self, event: E) -> None:
+        """Deliver ``event`` synchronously to all current listeners.
+
+        Listeners registered or cancelled *during* delivery do not affect the
+        current round: the listener list is snapshotted first.
+        """
+        self.published_count += 1
+        for listener in tuple(self._listeners):
+            listener(event)
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)
+
+    def listeners(self) -> Iterable[Listener[E]]:
+        return tuple(self._listeners)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSource({self.name!r}, listeners={len(self._listeners)})"

@@ -1,0 +1,245 @@
+"""Reentrant read-write locks.
+
+Section 4.2 of the paper describes PIPES' locking scheme: "three different
+types of reentrant read-write locks controlling access at graph-, operator-,
+and metadata level".  Python's standard library offers no read-write lock, so
+this module implements one from scratch with the semantics the paper needs:
+
+* **Reentrant** for both readers and writers: a thread may nest read locks
+  inside read locks and write locks inside write locks.
+* **Downgrade allowed**: a thread holding the write lock may additionally take
+  the read lock (the write lock already excludes everyone else).
+* **Upgrade rejected**: a thread holding only a read lock must not request the
+  write lock — granting it could deadlock two upgrading readers, so
+  :class:`~repro.common.errors.LockUpgradeError` is raised instead.
+* **Writer preference**: once a writer is waiting, new readers queue behind it
+  so that metadata updates are not starved by a stream of monitoring reads.
+
+The lock also counts acquisitions and contention events, which the locking
+benchmark (experiment E9) reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import LockUpgradeError
+
+__all__ = ["ReentrantRWLock", "LockStats"]
+
+
+@dataclass
+class LockStats:
+    """Counters describing how a lock was used.
+
+    ``read_contended`` / ``write_contended`` count acquisitions that had to
+    wait; they are what the lock-granularity benchmark compares.
+    """
+
+    read_acquired: int = 0
+    write_acquired: int = 0
+    read_contended: int = 0
+    write_contended: int = 0
+
+    def snapshot(self) -> "LockStats":
+        """Return an independent copy of the current counters."""
+        return LockStats(
+            read_acquired=self.read_acquired,
+            write_acquired=self.write_acquired,
+            read_contended=self.read_contended,
+            write_contended=self.write_contended,
+        )
+
+    def __add__(self, other: "LockStats") -> "LockStats":
+        return LockStats(
+            read_acquired=self.read_acquired + other.read_acquired,
+            write_acquired=self.write_acquired + other.write_acquired,
+            read_contended=self.read_contended + other.read_contended,
+            write_contended=self.write_contended + other.write_contended,
+        )
+
+
+@dataclass
+class _ThreadState:
+    """Per-thread reentrancy counters."""
+
+    read_count: int = 0
+    write_count: int = 0
+
+
+class ReentrantRWLock:
+    """A reentrant read-write lock with writer preference.
+
+    Use the :meth:`read` and :meth:`write` context managers::
+
+        lock = ReentrantRWLock("join-42")
+        with lock.read():
+            value = shared_state
+        with lock.write():
+            shared_state = new_value
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._threads: dict[int, _ThreadState] = {}
+        self._active_readers = 0
+        self._writer: int | None = None
+        self._writer_reentry = 0
+        self._waiting_writers = 0
+        self.stats = LockStats()
+
+    # -- internal helpers --------------------------------------------------
+
+    def _state(self, ident: int) -> _ThreadState:
+        state = self._threads.get(ident)
+        if state is None:
+            state = _ThreadState()
+            self._threads[ident] = state
+        return state
+
+    def _discard_if_idle(self, ident: int) -> None:
+        state = self._threads.get(ident)
+        if state is not None and state.read_count == 0 and state.write_count == 0:
+            del self._threads[ident]
+
+    # -- read lock ---------------------------------------------------------
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Acquire the read lock, blocking up to ``timeout`` seconds.
+
+        Returns ``True`` on success, ``False`` on timeout.
+        """
+        ident = threading.get_ident()
+        with self._cond:
+            state = self._state(ident)
+            if state.write_count > 0 or state.read_count > 0:
+                # Reentrant read, or downgrade while holding write: always ok.
+                state.read_count += 1
+                self.stats.read_acquired += 1
+                return True
+            contended = False
+            while self._writer is not None or self._waiting_writers > 0:
+                contended = True
+                if not self._cond.wait(timeout):
+                    self._discard_if_idle(ident)
+                    return False
+            state.read_count = 1
+            self._active_readers += 1
+            self.stats.read_acquired += 1
+            if contended:
+                self.stats.read_contended += 1
+            return True
+
+    def release_read(self) -> None:
+        """Release one level of the read lock held by the calling thread."""
+        ident = threading.get_ident()
+        with self._cond:
+            state = self._threads.get(ident)
+            if state is None or state.read_count == 0:
+                raise RuntimeError(f"thread does not hold read lock {self.name!r}")
+            state.read_count -= 1
+            if state.read_count == 0 and state.write_count == 0:
+                self._active_readers -= 1
+                self._discard_if_idle(ident)
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    # -- write lock ----------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Acquire the write lock, blocking up to ``timeout`` seconds.
+
+        Raises :class:`LockUpgradeError` if the calling thread holds only a
+        read lock (upgrading is a deadlock hazard and therefore forbidden).
+        """
+        ident = threading.get_ident()
+        with self._cond:
+            state = self._state(ident)
+            if state.write_count > 0:
+                state.write_count += 1
+                self.stats.write_acquired += 1
+                return True
+            if state.read_count > 0:
+                self._discard_if_idle(ident)
+                raise LockUpgradeError(
+                    f"thread holds read lock {self.name!r} and requested the "
+                    "write lock; release the read lock first"
+                )
+            self._waiting_writers += 1
+            contended = False
+            try:
+                while self._writer is not None or self._active_readers > 0:
+                    contended = True
+                    if not self._cond.wait(timeout):
+                        return False
+                self._writer = ident
+                state.write_count = 1
+                self.stats.write_acquired += 1
+                if contended:
+                    self.stats.write_contended += 1
+                return True
+            finally:
+                self._waiting_writers -= 1
+                self._discard_if_idle(ident)
+
+    def release_write(self) -> None:
+        """Release one level of the write lock held by the calling thread."""
+        ident = threading.get_ident()
+        with self._cond:
+            state = self._threads.get(ident)
+            if state is None or state.write_count == 0 or self._writer != ident:
+                raise RuntimeError(f"thread does not hold write lock {self.name!r}")
+            state.write_count -= 1
+            if state.write_count == 0:
+                if state.read_count > 0:
+                    # Held a downgrade read: become a plain reader.
+                    self._writer = None
+                    self._active_readers += 1
+                else:
+                    self._writer = None
+                    self._discard_if_idle(ident)
+                self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Context manager acquiring/releasing the read lock."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Context manager acquiring/releasing the write lock."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection ---------------------------------------------------------
+
+    def held_by_current_thread(self) -> str | None:
+        """Return ``"read"``, ``"write"`` or ``None`` for the calling thread."""
+        with self._cond:
+            state = self._threads.get(threading.get_ident())
+            if state is None:
+                return None
+            if state.write_count > 0:
+                return "write"
+            if state.read_count > 0:
+                return "read"
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReentrantRWLock({self.name!r}, readers={self._active_readers}, "
+            f"writer={self._writer})"
+        )

@@ -1,0 +1,203 @@
+"""Online statistics building blocks.
+
+Rate, average and variance metadata items (Figure 2's "online aggregates of
+local metadata items") are built from the estimators in this module:
+
+* :class:`OnlineMean` / :class:`OnlineVariance` — Welford's numerically stable
+  single-pass algorithm.
+* :class:`Ewma` — exponentially weighted moving average for drifting rates.
+* :class:`WindowedCounter` — the per-period element counter that backs the
+  periodically updated input-rate item of Section 3.1 ("each element is still
+  considered in the result as the overhead for counting incoming elements is
+  low").
+* :class:`SlidingWindowStats` — time-window mean over (timestamp, value)
+  samples for staleness-error measurements in the freshness benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Tuple
+
+__all__ = [
+    "OnlineMean",
+    "OnlineVariance",
+    "Ewma",
+    "WindowedCounter",
+    "SlidingWindowStats",
+]
+
+
+class OnlineMean:
+    """Single-pass running mean."""
+
+    __slots__ = ("count", "mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold ``value`` into the running mean."""
+        self.count += 1
+        self.mean += (value - self.mean) / self.count
+
+    def value(self) -> float:
+        """Current mean; 0.0 when no samples have been added."""
+        return self.mean if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+
+class OnlineVariance:
+    """Welford's online mean/variance estimator."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def variance(self) -> float:
+        """Population variance; 0.0 with fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    def sample_variance(self) -> float:
+        """Unbiased sample variance; 0.0 with fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def stddev(self) -> float:
+        return math.sqrt(self.variance())
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight of the newest sample; the first sample seeds the
+    average directly.
+    """
+
+    __slots__ = ("alpha", "_value", "_seeded")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._seeded = False
+
+    def add(self, value: float) -> None:
+        if self._seeded:
+            self._value += self.alpha * (value - self._value)
+        else:
+            self._value = float(value)
+            self._seeded = True
+
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def seeded(self) -> bool:
+        return self._seeded
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._seeded = False
+
+
+class WindowedCounter:
+    """Counts events and converts them to a rate per fixed time window.
+
+    The counter is the "monitoring code" of the periodically updated input
+    rate (Section 3.2.2): every incoming element increments it (cheap), and at
+    the end of each period the periodic handler calls :meth:`rate_and_reset`
+    exactly once, which is what makes concurrent consumer access safe.
+    """
+
+    __slots__ = ("count", "_window_start")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.count = 0
+        self._window_start = float(start_time)
+
+    def increment(self, n: int = 1) -> None:
+        self.count += n
+
+    def rate_and_reset(self, now: float) -> float:
+        """Return events/time-unit since the window start, then reset.
+
+        Returns 0.0 if no time elapsed (the degenerate case the paper's
+        Figure 4 discussion warns about can then not produce division noise).
+        """
+        elapsed = now - self._window_start
+        rate = self.count / elapsed if elapsed > 0 else 0.0
+        self.count = 0
+        self._window_start = now
+        return rate
+
+    def peek_rate(self, now: float) -> float:
+        """Rate since window start *without* resetting — the unsafe on-demand
+        read used to reproduce Figure 4's interference problem."""
+        elapsed = now - self._window_start
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def window_start(self) -> float:
+        return self._window_start
+
+
+class SlidingWindowStats:
+    """Mean over samples within a trailing time window.
+
+    Used by experiments to compute ground-truth averages against which the
+    metadata framework's (possibly stale) values are compared.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self._sum = 0.0
+
+    def add(self, timestamp: float, value: float) -> None:
+        """Record ``value`` observed at ``timestamp`` (non-decreasing)."""
+        self._samples.append((timestamp, value))
+        self._sum += value
+        self._evict(timestamp)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window
+        while self._samples and self._samples[0][0] < horizon:
+            _, old = self._samples.popleft()
+            self._sum -= old
+
+    def mean(self, now: float | None = None) -> float:
+        """Mean of samples still inside the window; 0.0 when empty."""
+        if now is not None:
+            self._evict(now)
+        if not self._samples:
+            return 0.0
+        return self._sum / len(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)

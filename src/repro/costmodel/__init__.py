@@ -1,0 +1,30 @@
+"""Rate-based cost model for sliding-window plans (Figure 3, Section 3.3)."""
+
+from repro.costmodel import model
+from repro.costmodel.install import estimated_vs_measured, install_estimates
+from repro.costmodel.model import (
+    filter_output_rate,
+    join_cpu_usage,
+    join_memory,
+    join_output_rate,
+    join_probe_rate,
+    queue_growth_rate,
+    window_memory,
+    window_state_elements,
+    window_validity,
+)
+
+__all__ = [
+    "model",
+    "install_estimates",
+    "estimated_vs_measured",
+    "window_validity",
+    "window_state_elements",
+    "window_memory",
+    "join_probe_rate",
+    "join_cpu_usage",
+    "join_memory",
+    "join_output_rate",
+    "filter_output_rate",
+    "queue_growth_rate",
+]

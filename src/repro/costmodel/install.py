@@ -1,0 +1,101 @@
+"""Installing cost-model metadata onto existing plans.
+
+Window operators, joins and sources publish their estimate items themselves
+(they are part of the operator definitions).  Stateless operators gain their
+estimates here, *post hoc*, which exercises the framework's extensibility
+promise: any party — not just the operator author — can ``define()`` new
+items with dependencies on a node's registry (Section 4.4.1).
+
+:func:`install_estimates` walks a frozen graph and adds
+``estimate.output_rate`` to filters, maps, projections and unions so that
+rate estimates propagate through arbitrary plans down to the join of
+Figure 3.  :func:`estimated_vs_measured` is the comparison harness used by
+the monitoring example and the Figure 3 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.graph import QueryGraph
+from repro.metadata import catalogue as md
+from repro.metadata.item import Mechanism, MetadataDefinition, SelfDep, UpstreamDep
+
+__all__ = ["install_estimates", "estimated_vs_measured"]
+
+
+def install_estimates(graph: QueryGraph) -> int:
+    """Add ``estimate.output_rate`` to operators that lack it.
+
+    Returns the number of definitions added.  Filters estimate their output
+    rate as input-rate estimate × average selectivity; pure pass-through and
+    merge operators forward/sum their inputs' estimates.
+    """
+    from repro.costmodel import model as costmodel
+    from repro.operators.aggregate import SlidingAggregate
+    from repro.operators.filter import Filter
+    from repro.operators.map import Map
+    from repro.operators.project import Project
+    from repro.operators.union import Union
+
+    added = 0
+    for node in graph.topological_order():
+        registry = node.metadata
+        if registry is None or md.EST_OUTPUT_RATE in registry.available_keys():
+            continue
+        if isinstance(node, Filter):
+            registry.define(MetadataDefinition(
+                md.EST_OUTPUT_RATE, Mechanism.TRIGGERED,
+                dependencies=[UpstreamDep(md.EST_OUTPUT_RATE, port=0),
+                              SelfDep(md.AVG_SELECTIVITY)],
+                compute=lambda ctx: costmodel.filter_output_rate(
+                    ctx.values(md.EST_OUTPUT_RATE)[0],
+                    ctx.value(md.AVG_SELECTIVITY),
+                ),
+                description="estimated output rate = input estimate x "
+                            "average selectivity (installed by the cost model)",
+            ))
+            added += 1
+        elif isinstance(node, (Map, Project, SlidingAggregate)):
+            registry.define(MetadataDefinition(
+                md.EST_OUTPUT_RATE, Mechanism.TRIGGERED,
+                dependencies=[UpstreamDep(md.EST_OUTPUT_RATE, port=0)],
+                compute=lambda ctx: ctx.values(md.EST_OUTPUT_RATE)[0],
+                description="estimated output rate (pass-through; installed "
+                            "by the cost model)",
+            ))
+            added += 1
+        elif isinstance(node, Union):
+            registry.define(MetadataDefinition(
+                md.EST_OUTPUT_RATE, Mechanism.TRIGGERED,
+                dependencies=[UpstreamDep(md.EST_OUTPUT_RATE)],
+                compute=lambda ctx: sum(ctx.values(md.EST_OUTPUT_RATE)),
+                description="estimated output rate = sum of input estimates "
+                            "(installed by the cost model)",
+            ))
+            added += 1
+    return added
+
+
+def estimated_vs_measured(node: Any, estimate_key, measured_key) -> dict:
+    """Read an estimate item and its measured counterpart for comparison.
+
+    Subscribes temporarily when the items are not already included, so it can
+    be used both for one-shot inspection and inside long-lived monitors.
+    Returns ``{"estimated": ..., "measured": ..., "relative_error": ...}``.
+    """
+    registry = node.metadata
+    results = {}
+    for label, key in (("estimated", estimate_key), ("measured", measured_key)):
+        if registry.is_included(key):
+            results[label] = registry.get(key)
+        else:
+            with registry.subscribe(key) as subscription:
+                results[label] = subscription.get()
+    measured = results["measured"]
+    estimated = results["estimated"]
+    if measured:
+        results["relative_error"] = abs(estimated - measured) / abs(measured)
+    else:
+        results["relative_error"] = float("inf") if estimated else 0.0
+    return results

@@ -1,0 +1,20 @@
+"""Query-graph substrate: elements, queues, nodes and the graph container."""
+
+from repro.graph.builder import QueryBuilder, Stage
+from repro.graph.element import Schema, StreamElement
+from repro.graph.graph import QueryGraph
+from repro.graph.node import GraphNode, Operator, Sink, Source
+from repro.graph.queues import StreamQueue
+
+__all__ = [
+    "QueryBuilder",
+    "Stage",
+    "Schema",
+    "StreamElement",
+    "QueryGraph",
+    "GraphNode",
+    "Source",
+    "Operator",
+    "Sink",
+    "StreamQueue",
+]

@@ -1,0 +1,213 @@
+"""Fluent query construction.
+
+Wiring graphs node-by-node (Figure 1 style) is explicit but verbose.  The
+:class:`QueryBuilder` offers the compact front-end a PIPES *user* would see::
+
+    qb = QueryBuilder(graph)
+    trades = qb.source("trades", Schema(("sym", "px")))
+    quotes = qb.source("quotes", Schema(("sym", "bid")))
+    (trades.window(100.0)
+           .join(quotes.window(100.0), key=lambda e: e.field("sym"))
+           .sink("spread_monitor", qos={"max_latency": 50}))
+    qb.apply()          # adds + wires everything (or installs at runtime)
+
+``apply()`` builds into an unfrozen graph directly, or — when the graph is
+already frozen — performs a **runtime installation** through
+:meth:`QueryGraph.install_query`, so the same builder code serves both static
+plan construction and Section 1's "new queries are installed" scenario.
+Stages may also :meth:`QueryBuilder.from_node` an existing node to share a
+running subplan.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Sequence
+
+from repro.common.errors import GraphError
+from repro.graph.element import Schema, StreamElement
+from repro.graph.graph import QueryGraph
+from repro.graph.node import GraphNode, Sink, Source
+
+__all__ = ["QueryBuilder", "Stage"]
+
+
+class QueryBuilder:
+    """Accumulates nodes and wiring until :meth:`apply`."""
+
+    def __init__(self, graph: QueryGraph, prefix: str = "q") -> None:
+        self.graph = graph
+        self.prefix = prefix
+        self._counter = itertools.count()
+        self._pending_nodes: list[GraphNode] = []
+        self._pending_connections: list[tuple[GraphNode, GraphNode]] = []
+        self._applied = False
+
+    # -- entry points --------------------------------------------------------
+
+    def source(self, name: str, schema: Schema) -> "Stage":
+        """Start a chain from a new raw stream."""
+        return Stage(self, self._register(Source(name, schema)))
+
+    def from_node(self, node: GraphNode) -> "Stage":
+        """Start a chain from an existing node (subquery sharing)."""
+        if isinstance(node, Sink):
+            raise GraphError("cannot build downstream of a sink")
+        return Stage(self, node)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _register(self, node: GraphNode) -> GraphNode:
+        self._pending_nodes.append(node)
+        return node
+
+    def _connect(self, producer: GraphNode, consumer: GraphNode) -> None:
+        self._pending_connections.append((producer, consumer))
+
+    def auto_name(self, kind: str) -> str:
+        return f"{self.prefix}_{kind}{next(self._counter)}"
+
+    # -- application ---------------------------------------------------------------
+
+    def apply(self) -> list[GraphNode]:
+        """Materialise the accumulated plan into the graph.
+
+        On an unfrozen graph this adds and wires the nodes (call
+        ``graph.freeze()`` afterwards as usual); on a frozen graph it
+        performs a runtime installation.  A builder can be applied once.
+        """
+        if self._applied:
+            raise GraphError("builder already applied")
+        self._applied = True
+        nodes = list(self._pending_nodes)
+        connections = list(self._pending_connections)
+        if self.graph.frozen:
+            return self.graph.install_query(nodes, connections)
+        for node in nodes:
+            self.graph.add(node)
+        for producer, consumer in connections:
+            self.graph.connect(producer, consumer)
+        return nodes
+
+
+class Stage:
+    """One end of a partially built chain; every method extends the plan."""
+
+    def __init__(self, builder: QueryBuilder, node: GraphNode) -> None:
+        self.builder = builder
+        self.node = node
+
+    # -- chaining helpers -----------------------------------------------------
+
+    def _extend(self, new_node: GraphNode) -> "Stage":
+        self.builder._register(new_node)
+        self.builder._connect(self.node, new_node)
+        return Stage(self.builder, new_node)
+
+    # -- operators --------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[StreamElement], bool],
+               name: Optional[str] = None) -> "Stage":
+        from repro.operators.filter import Filter
+
+        return self._extend(Filter(name or self.builder.auto_name("filter"),
+                                   predicate))
+
+    def distinct(self, key_fn: Callable[[StreamElement], Any],
+                 horizon: Optional[float] = None,
+                 name: Optional[str] = None) -> "Stage":
+        from repro.operators.distinct import DistinctFilter
+
+        return self._extend(DistinctFilter(
+            name or self.builder.auto_name("distinct"), key_fn, horizon,
+        ))
+
+    def map(self, fn: Callable[[Any], Any], output_schema: Optional[Schema] = None,
+            name: Optional[str] = None) -> "Stage":
+        from repro.operators.map import Map
+
+        return self._extend(Map(name or self.builder.auto_name("map"), fn,
+                                output_schema))
+
+    def project(self, fields: Sequence[str], name: Optional[str] = None) -> "Stage":
+        from repro.operators.project import Project
+
+        return self._extend(Project(name or self.builder.auto_name("project"),
+                                    fields))
+
+    def window(self, size: float, name: Optional[str] = None) -> "Stage":
+        from repro.operators.window import TimeWindow
+
+        return self._extend(TimeWindow(name or self.builder.auto_name("window"),
+                                       size))
+
+    def count_window(self, count: int, name: Optional[str] = None) -> "Stage":
+        from repro.operators.window import CountWindow
+
+        return self._extend(CountWindow(
+            name or self.builder.auto_name("cwindow"), count,
+        ))
+
+    def aggregate(self, field: str, fn: str = "avg",
+                  name: Optional[str] = None) -> "Stage":
+        from repro.operators.aggregate import SlidingAggregate
+
+        return self._extend(SlidingAggregate(
+            name or self.builder.auto_name("agg"), field, fn,
+        ))
+
+    def union(self, *others: "Stage", name: Optional[str] = None) -> "Stage":
+        from repro.operators.union import Union
+
+        union = Union(name or self.builder.auto_name("union"))
+        self.builder._register(union)
+        self.builder._connect(self.node, union)
+        for other in others:
+            self._check_same_builder(other)
+            self.builder._connect(other.node, union)
+        return Stage(self.builder, union)
+
+    def join(self, other: "Stage",
+             key: Optional[Callable[[StreamElement], Any]] = None,
+             predicate: Optional[Callable] = None,
+             impl: Optional[str] = None,
+             predicate_cost: float = 1.0,
+             name: Optional[str] = None) -> "Stage":
+        """Join this chain (left / port 0) with ``other`` (right / port 1)."""
+        from repro.operators.join import SlidingWindowJoin
+
+        self._check_same_builder(other)
+        if impl is None:
+            impl = "hash" if key is not None else "nested-loops"
+        join = SlidingWindowJoin(
+            name or self.builder.auto_name("join"),
+            predicate=predicate, impl=impl, key_fn=key,
+            predicate_cost=predicate_cost,
+        )
+        self.builder._register(join)
+        self.builder._connect(self.node, join)
+        self.builder._connect(other.node, join)
+        return Stage(self.builder, join)
+
+    # -- terminals ------------------------------------------------------------------
+
+    def sink(self, name: Optional[str] = None,
+             callback: Optional[Callable[[StreamElement], None]] = None,
+             qos: Optional[dict] = None, priority: int = 0) -> Sink:
+        """Terminate the chain with a sink; returns the sink node."""
+        sink = Sink(name or self.builder.auto_name("sink"),
+                    callback=callback, qos=qos, priority=priority)
+        self.builder._register(sink)
+        self.builder._connect(self.node, sink)
+        return sink
+
+    # -- misc -------------------------------------------------------------------------
+
+    def _check_same_builder(self, other: "Stage") -> None:
+        if other.builder is not self.builder:
+            raise GraphError(
+                "cannot combine stages from different QueryBuilders"
+            )
+
+    def __repr__(self) -> str:
+        return f"Stage({self.node!r})"

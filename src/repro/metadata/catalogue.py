@@ -1,0 +1,148 @@
+"""Standard metadata item keys — the taxonomy of Section 1 and Figure 2.
+
+The paper classifies metadata items by where they live in the query graph:
+
+* **source items** — stream rates, data distributions, schema information;
+* **operator items** — selectivities, resource usage, implementation type;
+* **query (sink) items** — QoS specifications, scheduling priority,
+  frequency of reuse by subquery sharing;
+
+and by volatility: *static* (schema, element size) vs *dynamic* (everything
+that changes at runtime).  This module defines one canonical
+:class:`~repro.metadata.item.MetadataKey` per item so that operators,
+consumers, the cost model and benchmarks all speak the same vocabulary.
+
+Multi-input operators qualify per-port items, e.g. ``INPUT_RATE.q(0)`` is the
+rate of a join's left input.
+"""
+
+from __future__ import annotations
+
+from repro.metadata.item import MetadataKey
+
+__all__ = [
+    "SCHEMA",
+    "ELEMENT_SIZE",
+    "IMPLEMENTATION_TYPE",
+    "VALUE_DISTRIBUTION",
+    "INPUT_RATE",
+    "OUTPUT_RATE",
+    "AVG_INPUT_RATE",
+    "VAR_INPUT_RATE",
+    "INPUT_OUTPUT_RATIO",
+    "SELECTIVITY",
+    "AVG_SELECTIVITY",
+    "STATE_SIZE",
+    "MEMORY_USAGE",
+    "CPU_USAGE",
+    "QUEUE_LENGTH",
+    "WINDOW_SIZE",
+    "ELEMENT_VALIDITY",
+    "PREDICATE_COST",
+    "EST_ELEMENT_VALIDITY",
+    "EST_OUTPUT_RATE",
+    "EST_CPU_USAGE",
+    "EST_MEMORY_USAGE",
+    "QOS_SPEC",
+    "PRIORITY",
+    "REUSE_FREQUENCY",
+    "LATENCY",
+    "QOS_VIOLATION",
+]
+
+# -- static metadata (Figure 2: "general stream information") ---------------
+
+#: Stream schema: tuple of field names (static).
+SCHEMA = MetadataKey("stream.schema")
+
+#: Size of one stream element in bytes (static).
+ELEMENT_SIZE = MetadataKey("stream.element_size")
+
+#: Operator implementation type, e.g. ``"hash"`` or ``"nested-loops"`` (static).
+IMPLEMENTATION_TYPE = MetadataKey("operator.implementation_type")
+
+# -- source / stream metadata (dynamic) --------------------------------------
+
+#: Histogram-style summary of recent payload values.
+VALUE_DISTRIBUTION = MetadataKey("stream.value_distribution")
+
+#: Measured arrival rate (elements per time unit), periodically updated.
+INPUT_RATE = MetadataKey("stream.input_rate")
+
+#: Measured output rate (elements per time unit), periodically updated.
+OUTPUT_RATE = MetadataKey("stream.output_rate")
+
+#: Online average of :data:`INPUT_RATE` (the paper's running example of a
+#: triggered, intra-node dependent item).
+AVG_INPUT_RATE = MetadataKey("stream.avg_input_rate")
+
+#: Online variance of :data:`INPUT_RATE`.
+VAR_INPUT_RATE = MetadataKey("stream.var_input_rate")
+
+#: Output rate divided by input rate (Section 2.3's derived-item example).
+INPUT_OUTPUT_RATIO = MetadataKey("operator.input_output_ratio")
+
+# -- operator metadata (dynamic) ------------------------------------------------
+
+#: Measured fraction of (joined/filtered) results per input combination.
+SELECTIVITY = MetadataKey("operator.selectivity")
+
+#: Online average of :data:`SELECTIVITY` (Figure 3's intra-node aggregate).
+AVG_SELECTIVITY = MetadataKey("operator.avg_selectivity")
+
+#: Number of elements currently held in operator state.
+STATE_SIZE = MetadataKey("operator.state_size")
+
+#: Measured memory usage in bytes (state size × element size, Section 3.1).
+MEMORY_USAGE = MetadataKey("operator.memory_usage")
+
+#: Measured CPU usage (processing cost per time unit).
+CPU_USAGE = MetadataKey("operator.cpu_usage")
+
+#: Length of the operator's inter-operator input queue(s).
+QUEUE_LENGTH = MetadataKey("operator.queue_length")
+
+#: Configured window size of a window operator (changes when the resource
+#: manager adapts it — Section 3.3).
+WINDOW_SIZE = MetadataKey("window.size")
+
+#: Measured mean validity span assigned to elements by a window operator.
+ELEMENT_VALIDITY = MetadataKey("window.element_validity")
+
+#: Cost of evaluating the join predicate once (Figure 3's intra-node input
+#: to the CPU estimate).
+PREDICATE_COST = MetadataKey("operator.predicate_cost")
+
+# -- cost-model estimates (Figure 3) -----------------------------------------------
+
+#: Estimated element validity derived from the window size.
+EST_ELEMENT_VALIDITY = MetadataKey("estimate.element_validity")
+
+#: Estimated output rate of an operator (recursive through the plan).
+EST_OUTPUT_RATE = MetadataKey("estimate.output_rate")
+
+#: Estimated CPU usage of an operator.
+EST_CPU_USAGE = MetadataKey("estimate.cpu_usage")
+
+#: Estimated memory usage of an operator.
+EST_MEMORY_USAGE = MetadataKey("estimate.memory_usage")
+
+# -- query-level metadata (sinks) -----------------------------------------------------
+
+#: Quality-of-Service specification provided by the application (static per
+#: query, but replaceable).
+QOS_SPEC = MetadataKey("query.qos_spec")
+
+#: Scheduling priority of the query.
+PRIORITY = MetadataKey("query.priority")
+
+#: How many queries share this subplan (subquery sharing).
+REUSE_FREQUENCY = MetadataKey("query.reuse_frequency")
+
+#: Measured mean result latency at the sink (delivery time minus element
+#: timestamp), periodically updated.
+LATENCY = MetadataKey("query.latency")
+
+#: Whether the measured latency currently violates the QoS specification's
+#: ``max_latency`` (triggered: mixes a measured item with static QoS).
+QOS_VIOLATION = MetadataKey("query.qos_violation")

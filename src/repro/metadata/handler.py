@@ -1,0 +1,341 @@
+"""Metadata handlers — the update mechanisms of Section 3.
+
+A :class:`MetadataHandler` is created when a metadata item is included for the
+first time and removed when its inclusion counter drops back to zero
+(Section 2.1).  There is exactly one handler per included item; it acts as a
+proxy that
+
+* synchronizes concurrent access of multiple consumers (item-level lock),
+* guarantees a consistent view on the value during updates, and
+* carries the reference counter that implements handler sharing.
+
+Four concrete handler types implement Figure 2's maintenance concepts:
+
+=====================  ====================================================
+:class:`StaticHandler`     computes/stores the value once (static metadata)
+:class:`OnDemandHandler`   recomputes the value on every access
+:class:`PeriodicHandler`   refreshes the value every ``period`` time units
+:class:`TriggeredHandler`  refreshes when a dependency changes or an event
+                           notification fires
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.common.errors import HandlerError, MetadataNotIncludedError
+from repro.metadata.item import (
+    ComputeContext,
+    DependencySpec,
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metadata.registry import MetadataRegistry
+
+__all__ = [
+    "MetadataHandler",
+    "StaticHandler",
+    "OnDemandHandler",
+    "PeriodicHandler",
+    "TriggeredHandler",
+    "create_handler",
+]
+
+_UNSET = object()
+
+
+class MetadataHandler:
+    """Base class of all metadata handlers.
+
+    Subclasses implement :meth:`get` (consumer access) and may override the
+    lifecycle hooks :meth:`on_included` / :meth:`on_removed` and the change
+    reaction :meth:`on_dependency_changed`.
+    """
+
+    mechanism: Mechanism
+
+    #: Whether every refresh is published to dependents even when the value
+    #: is numerically unchanged.  True for periodic handlers: each refresh is
+    #: a new *measurement sample*, and dependent aggregates (the average input
+    #: rate of Section 3.2.3) must fold every sample.  False for triggered
+    #: handlers, whose value is a function of their inputs — an unchanged
+    #: value cannot affect dependents, so propagation is cut short.
+    publishes_every_update = False
+
+    def __init__(self, registry: "MetadataRegistry", definition: MetadataDefinition) -> None:
+        self.registry = registry
+        self.definition = definition
+        self.key: MetadataKey = definition.key
+        # (spec, handler) pairs resolved by the registry at inclusion time.
+        self.dependency_handlers: list[tuple[DependencySpec, "MetadataHandler"]] = []
+        # Handlers that depend on this one and expect change notifications.
+        # Kept as an ordered identity set; duplicates are rejected so that a
+        # node subscribing via several paths is notified once (Section 3.2.3:
+        # "duplicate subscriptions by the same node are detected to avoid
+        # redundant notifications").
+        self._dependents: dict[int, "MetadataHandler"] = {}
+        self.include_count = 0
+        self.consumer_count = 0  # explicit consumer subscriptions only
+        self._value: Any = _UNSET
+        self._lock = registry.lock_policy.item_lock(self)
+        self.update_count = 0
+        self.access_count = 0
+        self.compute_count = 0
+        self.last_update_time: float | None = None
+        self.removed = False
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def ref(self) -> tuple:
+        """Globally unique ``(owner, key)`` reference of the item."""
+        return (self.registry.owner, self.key)
+
+    def __repr__(self) -> str:
+        owner = getattr(self.registry.owner, "name", self.registry.owner)
+        return (
+            f"{type(self).__name__}({owner}/{self.key!r}, "
+            f"includes={self.include_count}, updates={self.update_count})"
+        )
+
+    # -- value management ----------------------------------------------------
+
+    def _compute(self) -> Any:
+        """Evaluate the definition's compute function."""
+        self.compute_count += 1
+        ctx = ComputeContext(self.registry, self)
+        try:
+            return self.definition.compute(ctx)
+        except MetadataNotIncludedError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrap provider failures
+            raise HandlerError(
+                f"computing metadata {self.ref} failed: {exc}"
+            ) from exc
+
+    def _store(self, value: Any) -> bool:
+        """Replace the cached value; return True when it actually changed."""
+        old = self._value
+        self._value = value
+        self.update_count += 1
+        self.last_update_time = self.registry.clock.now()
+        if old is _UNSET:
+            return True
+        try:
+            return bool(old != value)
+        except Exception:  # noqa: BLE001 - non-comparable values: assume changed
+            return True
+
+    @property
+    def propagates_always(self) -> bool:
+        """Publish every refresh, not only value changes (see class docs)."""
+        return self.publishes_every_update or self.definition.always_propagate
+
+    def refresh(self) -> None:
+        """Recompute the value now and propagate to dependents."""
+        self._ensure_included()
+        with self._lock.write():
+            changed = self._store(self._compute())
+        if changed or self.propagates_always:
+            self.registry.propagation.value_changed(self)
+
+    def recompute_for_propagation(self) -> bool:
+        """Recompute during a propagation wave; return whether dependents
+        must be told (value changed, or this handler publishes every update).
+
+        Unlike :meth:`refresh` this does *not* start a new wave — the running
+        wave already covers the dependent closure in topological order.
+        """
+        self._ensure_included()
+        with self._lock.write():
+            changed = self._store(self._compute())
+        return changed or self.propagates_always
+
+    def peek(self) -> Any:
+        """Return the cached value without recomputation or access counting.
+
+        Raises :class:`HandlerError` when no value has been computed yet.
+        """
+        with self._lock.read():
+            if self._value is _UNSET:
+                raise HandlerError(f"metadata {self.ref} has no value yet")
+            return self._value
+
+    @property
+    def has_value(self) -> bool:
+        return self._value is not _UNSET
+
+    def get(self) -> Any:
+        """Consumer access; mechanism-specific, implemented by subclasses."""
+        raise NotImplementedError
+
+    def _ensure_included(self) -> None:
+        if self.removed:
+            raise MetadataNotIncludedError(
+                f"metadata handler {self.ref} has been removed"
+            )
+
+    # -- dependency plumbing ---------------------------------------------------
+
+    def attach_dependent(self, dependent: "MetadataHandler") -> bool:
+        """Register ``dependent`` for change notifications.
+
+        Returns ``False`` (and does nothing) when the dependent is already
+        registered — the duplicate-notification suppression of Section 3.2.3.
+        """
+        if id(dependent) in self._dependents:
+            return False
+        self._dependents[id(dependent)] = dependent
+        return True
+
+    def detach_dependent(self, dependent: "MetadataHandler") -> None:
+        self._dependents.pop(id(dependent), None)
+
+    def dependents(self) -> Sequence["MetadataHandler"]:
+        return tuple(self._dependents.values())
+
+    def on_dependency_changed(self, dependency: "MetadataHandler") -> bool:
+        """React to a change of a dependency.
+
+        Returns ``True`` when this handler wants to be refreshed by the
+        propagation engine.  Only triggered handlers react (Section 3.2.3).
+        """
+        return False
+
+    # -- lifecycle hooks ------------------------------------------------------
+
+    def on_included(self) -> None:
+        """Called once after dependencies are resolved and monitors active."""
+
+    def on_removed(self) -> None:
+        """Called once when the handler is being removed."""
+        self.removed = True
+
+
+class StaticHandler(MetadataHandler):
+    """Handler for invariable metadata: the value is fixed at inclusion."""
+
+    mechanism = Mechanism.STATIC
+
+    def on_included(self) -> None:
+        with self._lock.write():
+            if self.definition.compute is not None:
+                self._store(self._compute())
+            else:
+                self._store(self.definition.value)
+
+    def get(self) -> Any:
+        self._ensure_included()
+        self.access_count += 1
+        return self.peek()
+
+
+class OnDemandHandler(MetadataHandler):
+    """Recomputes the value on every access (Section 3.2.1).
+
+    Cheap or rarely accessed items use this mechanism; it offers the highest
+    freshness but no isolation between consumers whose computation consumes
+    shared monitoring state (Figure 4) — that is precisely the failure mode
+    periodic handlers exist to fix, and the concurrent-access benchmark
+    demonstrates it.
+    """
+
+    mechanism = Mechanism.ON_DEMAND
+
+    def get(self) -> Any:
+        self._ensure_included()
+        self.access_count += 1
+        with self._lock.write():
+            value = self._compute()
+            self._store(value)
+            return value
+
+
+class PeriodicHandler(MetadataHandler):
+    """Refreshes the value every ``period`` time units (Section 3.2.2).
+
+    Between refreshes all consumers read the same pre-computed value, which is
+    at most one period old but *consistent* — the isolation condition.  The
+    registry's periodic scheduler drives :meth:`periodic_refresh`.
+    """
+
+    mechanism = Mechanism.PERIODIC
+    publishes_every_update = True  # every refresh is a new measurement sample
+
+    def __init__(self, registry: "MetadataRegistry", definition: MetadataDefinition) -> None:
+        super().__init__(registry, definition)
+        self.period: float = float(definition.period)  # type: ignore[arg-type]
+        self._task = None
+
+    def on_included(self) -> None:
+        # Seed the value so consumers never observe an empty handler, then
+        # hand the refresh cadence to the scheduler.
+        with self._lock.write():
+            self._store(self._compute())
+        self._task = self.registry.scheduler.register(self)
+
+    def on_removed(self) -> None:
+        if self._task is not None:
+            self.registry.scheduler.unregister(self._task)
+            self._task = None
+        super().on_removed()
+
+    def periodic_refresh(self) -> None:
+        """One scheduler tick: recompute from the information gathered during
+        the elapsed window and publish the new value."""
+        if self.removed:
+            return
+        self.refresh()
+
+    def get(self) -> Any:
+        self._ensure_included()
+        self.access_count += 1
+        return self.peek()
+
+
+class TriggeredHandler(MetadataHandler):
+    """Pre-computed value refreshed on events (Section 3.2.3).
+
+    The value is computed on first subscription and afterwards only when one
+    of the item's dependencies changes or a manual event notification fires.
+    Updates arrive via the propagation engine, which orders them along the
+    inverted dependency graph.
+    """
+
+    mechanism = Mechanism.TRIGGERED
+
+    def on_included(self) -> None:
+        with self._lock.write():
+            self._store(self._compute())
+
+    def on_dependency_changed(self, dependency: MetadataHandler) -> bool:
+        return not self.removed
+
+    def get(self) -> Any:
+        self._ensure_included()
+        self.access_count += 1
+        return self.peek()
+
+
+_HANDLER_TYPES: dict[Mechanism, type[MetadataHandler]] = {
+    Mechanism.STATIC: StaticHandler,
+    Mechanism.ON_DEMAND: OnDemandHandler,
+    Mechanism.PERIODIC: PeriodicHandler,
+    Mechanism.TRIGGERED: TriggeredHandler,
+}
+
+
+def create_handler(
+    registry: "MetadataRegistry", definition: MetadataDefinition
+) -> MetadataHandler:
+    """Instantiate the pre-implemented handler type for ``definition``.
+
+    This is the factory behind the paper's "PIPES provides pre-implementations
+    of metadata handlers for the update mechanisms ... the developer just has
+    to parameterize them with a function that evaluates the metadata value."
+    """
+    return _HANDLER_TYPES[definition.mechanism](registry, definition)

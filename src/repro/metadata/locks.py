@@ -1,0 +1,142 @@
+"""Lock policies for the three-level locking scheme of Section 4.2.
+
+PIPES controls concurrent access with "three different types of reentrant
+read-write locks ... at graph-, operator-, and metadata level", and only the
+locks of *currently included* metadata items are ever touched (Section 4.3).
+
+The policy object decides what those locks physically are:
+
+* :class:`FineGrainedLockPolicy` — one :class:`ReentrantRWLock` per graph, per
+  node and per metadata item (the paper's design).
+* :class:`CoarseLockPolicy` — a single global lock shared by every level; the
+  ablation baseline for the lock-granularity benchmark (experiment E9).
+* :class:`NoOpLockPolicy` — no locking at all, for single-threaded
+  deterministic simulation where locks would only add overhead.
+
+All three expose the same interface, so executors and registries are agnostic
+to the policy in use.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.common.rwlock import LockStats, ReentrantRWLock
+
+__all__ = [
+    "LockPolicy",
+    "FineGrainedLockPolicy",
+    "CoarseLockPolicy",
+    "NoOpLockPolicy",
+    "NoOpLock",
+]
+
+
+class NoOpLock:
+    """Lock-shaped object that does nothing; used by :class:`NoOpLockPolicy`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        yield
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        return True
+
+    def release_read(self) -> None:
+        pass
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        return True
+
+    def release_write(self) -> None:
+        pass
+
+
+class LockPolicy:
+    """Interface of lock policies; also usable as a registry of created locks."""
+
+    def graph_lock(self) -> Any:
+        raise NotImplementedError
+
+    def node_lock(self, owner: Any) -> Any:
+        raise NotImplementedError
+
+    def item_lock(self, handler: Any) -> Any:
+        raise NotImplementedError
+
+    def aggregate_stats(self) -> LockStats:
+        """Combined counters of every real lock this policy handed out."""
+        return LockStats()
+
+
+class FineGrainedLockPolicy(LockPolicy):
+    """One reentrant RW lock per graph, node and included item (the paper)."""
+
+    def __init__(self) -> None:
+        self._locks: list[ReentrantRWLock] = []
+
+    def _new(self, name: str) -> ReentrantRWLock:
+        lock = ReentrantRWLock(name)
+        self._locks.append(lock)
+        return lock
+
+    def graph_lock(self) -> ReentrantRWLock:
+        return self._new("graph")
+
+    def node_lock(self, owner: Any) -> ReentrantRWLock:
+        return self._new(f"node:{getattr(owner, 'name', owner)!s}")
+
+    def item_lock(self, handler: Any) -> ReentrantRWLock:
+        return self._new(f"item:{handler.key!r}")
+
+    def aggregate_stats(self) -> LockStats:
+        total = LockStats()
+        for lock in self._locks:
+            total = total + lock.stats
+        return total
+
+    @property
+    def lock_count(self) -> int:
+        return len(self._locks)
+
+
+class CoarseLockPolicy(LockPolicy):
+    """A single global lock for every level — the scalability anti-pattern."""
+
+    def __init__(self) -> None:
+        self._lock = ReentrantRWLock("global")
+
+    def graph_lock(self) -> ReentrantRWLock:
+        return self._lock
+
+    def node_lock(self, owner: Any) -> ReentrantRWLock:
+        return self._lock
+
+    def item_lock(self, handler: Any) -> ReentrantRWLock:
+        return self._lock
+
+    def aggregate_stats(self) -> LockStats:
+        return self._lock.stats.snapshot()
+
+
+class NoOpLockPolicy(LockPolicy):
+    """No locking; correct only for single-threaded execution."""
+
+    def graph_lock(self) -> NoOpLock:
+        return NoOpLock("graph")
+
+    def node_lock(self, owner: Any) -> NoOpLock:
+        return NoOpLock(f"node:{getattr(owner, 'name', owner)!s}")
+
+    def item_lock(self, handler: Any) -> NoOpLock:
+        return NoOpLock(f"item:{handler.key!r}")

@@ -1,0 +1,197 @@
+"""Monitoring probes — the "specific monitoring code" of Section 4.4.1.
+
+Some metadata items require a node to *gather information* while elements are
+processed; the paper's example is the input rate, which "requires to count the
+number of incoming elements".  Probes encapsulate that gathering code.  They
+are registered on a node once, stay **inactive** (zero overhead beyond a
+boolean check) until a metadata definition listing them is included, and are
+deactivated again when the last such item is removed — `addMetadata` activates
+them, `removeMetadata` deactivates them.
+
+Activation is reference-counted because several items may share one probe
+(e.g. input rate and average input rate both need the element counter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.clock import Clock
+from repro.common.errors import MetadataError
+from repro.common.stats import WindowedCounter
+
+__all__ = ["Probe", "CounterProbe", "GaugeProbe", "RateProbe", "CostProbe", "MeanProbe"]
+
+
+class Probe:
+    """Base class for monitoring probes.
+
+    Subclasses implement :meth:`_on_activate` / :meth:`_on_deactivate` and
+    whatever recording methods the operator calls from its hot path; every
+    recording method must early-return when :attr:`active` is false so that
+    unobserved metadata costs (almost) nothing.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.active = False
+        self._activation_count = 0
+
+    def activate(self) -> None:
+        """Reference-counted activation."""
+        self._activation_count += 1
+        if self._activation_count == 1:
+            self.active = True
+            self._on_activate()
+
+    def deactivate(self) -> None:
+        """Reference-counted deactivation; raises when not active."""
+        if self._activation_count == 0:
+            raise MetadataError(f"probe {self.name!r} deactivated more than activated")
+        self._activation_count -= 1
+        if self._activation_count == 0:
+            self.active = False
+            self._on_deactivate()
+
+    def _on_activate(self) -> None:
+        """Hook: reset gathering state when monitoring begins."""
+
+    def _on_deactivate(self) -> None:
+        """Hook: release gathering state when monitoring ends."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "inactive"
+        return f"{type(self).__name__}({self.name!r}, {state})"
+
+
+class CounterProbe(Probe):
+    """Counts discrete events (elements arrived, results produced, ...).
+
+    Exposes both a *total* count (monotone, for selectivity ratios) and a
+    :class:`WindowedCounter` view for per-period rates.
+    """
+
+    def __init__(self, name: str, clock: Clock) -> None:
+        super().__init__(name)
+        self._clock = clock
+        self.total = 0
+        self.window = WindowedCounter(clock.now())
+
+    def record(self, n: int = 1) -> None:
+        """Count ``n`` events; no-op while inactive."""
+        if not self.active:
+            return
+        self.total += n
+        self.window.increment(n)
+
+    def _on_activate(self) -> None:
+        self.total = 0
+        self.window = WindowedCounter(self._clock.now())
+
+
+class GaugeProbe(Probe):
+    """Samples an instantaneous quantity supplied by a callable.
+
+    Used for state-derived measurements such as the number of elements in a
+    sweep area; the value is read through :meth:`read` on access, so the
+    operator's hot path carries no cost at all.
+    """
+
+    def __init__(self, name: str, reader: Callable[[], Any]) -> None:
+        super().__init__(name)
+        self._reader = reader
+
+    def read(self) -> Any:
+        if not self.active:
+            raise MetadataError(f"gauge probe {self.name!r} read while inactive")
+        return self._reader()
+
+
+class RateProbe(CounterProbe):
+    """Counter specialised for rate measurement.
+
+    ``rate_and_reset`` is what a *periodic* input-rate handler calls once per
+    window; ``unsafe_peek_rate`` is the non-resetting read a naive on-demand
+    handler would use — both are provided so the Figure 4 experiment can
+    demonstrate the difference with the same probe.
+    """
+
+    def rate_and_reset(self) -> float:
+        return self.window.rate_and_reset(self._clock.now())
+
+    def unsafe_rate_and_reset(self) -> float:
+        """The Figure 4 anti-pattern: compute rate since last access and reset.
+
+        Two consumers calling this interleaved destroy each other's window.
+        """
+        return self.window.rate_and_reset(self._clock.now())
+
+    def unsafe_peek_rate(self) -> float:
+        return self.window.peek_rate(self._clock.now())
+
+
+class CostProbe(Probe):
+    """Accumulates simulated processing cost (CPU time units).
+
+    Operators charge their per-element processing cost here; the measured
+    CPU-usage metadata item divides accumulated cost by elapsed time.
+    """
+
+    def __init__(self, name: str, clock: Clock) -> None:
+        super().__init__(name)
+        self._clock = clock
+        self.accumulated = 0.0
+        self._window_start = clock.now()
+
+    def charge(self, cost: float) -> None:
+        if not self.active:
+            return
+        self.accumulated += cost
+
+    def usage_and_reset(self) -> float:
+        """Average cost per time unit since the window start, then reset."""
+        now = self._clock.now()
+        elapsed = now - self._window_start
+        usage = self.accumulated / elapsed if elapsed > 0 else 0.0
+        self.accumulated = 0.0
+        self._window_start = now
+        return usage
+
+    def _on_activate(self) -> None:
+        self.accumulated = 0.0
+        self._window_start = self._clock.now()
+
+
+class MeanProbe(Probe):
+    """Averages a measured quantity over each metadata update window.
+
+    Window operators use this for the measured element validity: every
+    processed element records its assigned validity span, and the periodic
+    handler reads the mean once per period via :meth:`mean_and_reset`.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._sum = 0.0
+        self._count = 0
+        self.last_mean = 0.0
+
+    def record(self, value: float) -> None:
+        if not self.active:
+            return
+        self._sum += value
+        self._count += 1
+
+    def mean_and_reset(self) -> float:
+        """Mean of the recorded values this window; repeats the previous mean
+        when nothing was recorded (an empty window carries no information)."""
+        if self._count:
+            self.last_mean = self._sum / self._count
+        self._sum = 0.0
+        self._count = 0
+        return self.last_mean
+
+    def _on_activate(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+        self.last_mean = 0.0

@@ -1,0 +1,173 @@
+"""Triggered-update propagation along the inverted dependency graph.
+
+Section 3.2.3: "Whenever the value of a metadata item changes that is
+maintained by a periodic or triggered handler, all dependent triggered
+handlers are notified and updated automatically. ... triggering updates may
+proceed recursively following the edges of the inverted dependency graph."
+
+Section 3.2.3 (Synchronization) adds the correctness requirements this engine
+implements: "(i) updates have to be performed in the right order, and (ii)
+updates need to be synchronized.  The update order is basically determined by
+the inverted dependency graph."
+
+The engine therefore does **not** refresh dependents by naive recursion —
+that would recompute diamond-shaped dependents once per path, transiently
+exposing inconsistent values.  Instead a change starts a *wave*:
+
+1. collect the closure of triggered handlers reachable over dependent edges,
+2. order it topologically (a handler refreshes only after every in-wave
+   handler it depends on),
+3. refresh each handler at most once, and only if at least one of its
+   dependencies actually changed in this wave (unchanged values cut the
+   propagation short, saving work).
+
+Manual event notifications (Section 3.2.3, for on-demand sources whose state
+change must be reflected immediately) enter through :meth:`event_fired`: the
+source is treated as changed without being recomputed, and its on-demand
+``get`` recomputes lazily when a refreshed dependent reads it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metadata.handler import MetadataHandler
+
+__all__ = ["PropagationEngine"]
+
+
+class PropagationEngine:
+    """Orders and executes triggered metadata updates.
+
+    One engine is shared by all registries of a metadata system, so waves
+    propagate across node boundaries (inter-node dependencies) and into
+    exchangeable-module registries transparently.
+    """
+
+    def __init__(self, ordered: bool = True) -> None:
+        #: ``ordered=False`` switches to naive depth-first recursion — the
+        #: anti-pattern Section 3.2.3 warns about ("updates have to be
+        #: performed in the right order").  It recomputes diamond-shaped
+        #: dependents once per path and transiently exposes inconsistent
+        #: values; it exists only as the ablation baseline of experiment E12.
+        self.ordered = ordered
+        self.wave_count = 0
+        self.refresh_count = 0
+        self.suppressed_count = 0  # dependents skipped because inputs were unchanged
+        self.error_count = 0       # recomputes that raised (handler keeps old value)
+        self._propagating = False
+        self._pending: list["MetadataHandler"] = []
+
+    # -- public entry points -------------------------------------------------
+
+    def value_changed(self, source: "MetadataHandler") -> None:
+        """A handler's stored value changed; refresh dependents in order."""
+        self._start(source)
+
+    def event_fired(self, source: "MetadataHandler") -> None:
+        """A manual event notification for ``source`` (Section 3.2.3)."""
+        self._start(source)
+
+    # -- wave machinery ----------------------------------------------------------
+
+    def _start(self, source: "MetadataHandler") -> None:
+        if self._propagating:
+            # A refresh inside a running wave reported a change; queue a
+            # follow-up wave rather than recursing (run-to-completion).
+            self._pending.append(source)
+            return
+        self._propagating = True
+        run = self._run_wave if self.ordered else self._run_naive
+        try:
+            run(source)
+            while self._pending:
+                run(self._pending.pop(0))
+        finally:
+            self._propagating = False
+
+    def _run_naive(self, source: "MetadataHandler") -> None:
+        """Ablation baseline: unordered depth-first recursion (see __init__)."""
+        self.wave_count += 1
+        self._recurse_naive(source)
+
+    def _recurse_naive(self, handler: "MetadataHandler") -> None:
+        for dependent in handler.dependents():
+            if dependent.removed or not dependent.on_dependency_changed(handler):
+                continue
+            self.refresh_count += 1
+            if self._recompute(dependent):
+                self._recurse_naive(dependent)
+
+    def _collect_wave(self, source: "MetadataHandler") -> list["MetadataHandler"]:
+        """Triggered-handler closure of ``source``, topologically ordered.
+
+        Ordering uses longest-path depth from the source over dependent
+        edges, which guarantees that within the wave every handler appears
+        after all of its in-wave dependencies.
+        """
+        depth: dict[int, int] = {id(source): 0}
+        handlers: dict[int, "MetadataHandler"] = {id(source): source}
+        order: list[int] = [id(source)]
+        # Repeated relaxation over a DAG; the include machinery rejects
+        # cycles, so this terminates.
+        frontier: list["MetadataHandler"] = [source]
+        while frontier:
+            next_frontier: list["MetadataHandler"] = []
+            for handler in frontier:
+                for dependent in handler.dependents():
+                    if not dependent.on_dependency_changed(handler):
+                        continue
+                    d = depth[id(handler)] + 1
+                    if id(dependent) not in depth:
+                        depth[id(dependent)] = d
+                        handlers[id(dependent)] = dependent
+                        order.append(id(dependent))
+                        next_frontier.append(dependent)
+                    elif d > depth[id(dependent)]:
+                        depth[id(dependent)] = d
+                        next_frontier.append(dependent)
+            frontier = next_frontier
+        ordered = sorted(set(order), key=lambda h: depth[h])
+        return [handlers[h] for h in ordered]
+
+    def _run_wave(self, source: "MetadataHandler") -> None:
+        self.wave_count += 1
+        wave = self._collect_wave(source)
+        changed_ids = {id(source)}
+        in_wave = {id(h) for h in wave}
+        for handler in wave[1:]:  # skip the source itself
+            if handler.removed:
+                continue
+            # Refresh only when an in-wave dependency actually changed.
+            inputs_changed = any(
+                id(dep) in changed_ids
+                for _, dep in handler.dependency_handlers
+                if id(dep) in in_wave
+            )
+            if not inputs_changed:
+                self.suppressed_count += 1
+                continue
+            self.refresh_count += 1
+            if self._recompute(handler):
+                changed_ids.add(id(handler))
+
+    def _recompute(self, handler: "MetadataHandler") -> bool:
+        """Best-effort recompute: a failing provider keeps its old value and
+        does not abort the wave for its siblings."""
+        try:
+            return handler.recompute_for_propagation()
+        except Exception:  # noqa: BLE001 - contain provider failures
+            self.error_count += 1
+            return False
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters for the benchmark harness."""
+        return {
+            "waves": self.wave_count,
+            "refreshes": self.refresh_count,
+            "suppressed": self.suppressed_count,
+            "errors": self.error_count,
+        }

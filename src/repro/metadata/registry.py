@@ -1,0 +1,475 @@
+"""Publish-subscribe metadata registries (Section 2).
+
+Every query-graph node (and every exchangeable module, Section 4.5) owns a
+:class:`MetadataRegistry` storing
+
+* the **definitions** of the metadata items the node can provide
+  (the published catalogue — "each node gives information about available
+  metadata items", Section 2.2), and
+* the **handlers** of the items currently *included*, i.e. required by at
+  least one consumer subscription or dependent item.
+
+Consumers call :meth:`MetadataRegistry.subscribe`, which
+
+1. performs the depth-first dependency traversal of Section 2.4, implicitly
+   including every transitive dependency and stopping at items already
+   provided (their counters are still incremented, so sharing is counted),
+2. activates the monitoring probes the included definitions list, and
+3. returns a :class:`MetadataSubscription` proxying the shared handler.
+
+Cancelling the subscription reverses all of it; a handler whose inclusion
+counter reaches zero is removed together with its now-unneeded dependency
+subtree ("the automated removal of handlers, which are no longer needed,
+saves further system resources", Section 2.1).
+
+All registries of one system share a :class:`MetadataSystem`, which bundles
+the clock, the periodic scheduler, the propagation engine, the lock policy
+and global accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.common.clock import Clock
+from repro.common.errors import (
+    DependencyCycleError,
+    DuplicateMetadataError,
+    MetadataError,
+    MetadataNotIncludedError,
+    SubscriptionError,
+    UnknownMetadataError,
+)
+from repro.metadata.handler import MetadataHandler, create_handler
+from repro.metadata.item import (
+    DownstreamDep,
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    ModuleDep,
+    NodeDep,
+    SelfDep,
+    UpstreamDep,
+)
+from repro.metadata.locks import LockPolicy, NoOpLockPolicy
+from repro.metadata.monitor import Probe
+from repro.metadata.propagation import PropagationEngine
+from repro.metadata.scheduling import PeriodicScheduler
+
+__all__ = ["MetadataSystem", "MetadataRegistry", "MetadataSubscription"]
+
+
+class MetadataSystem:
+    """Shared services and accounting for a family of registries.
+
+    One system is created per query graph (or per test fixture).  It owns the
+    clock, the periodic-update scheduler, the triggered-update propagation
+    engine and the lock policy; registries delegate to it.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        scheduler: PeriodicScheduler,
+        lock_policy: LockPolicy | None = None,
+        propagation: PropagationEngine | None = None,
+    ) -> None:
+        self.clock = clock
+        self.scheduler = scheduler
+        self.lock_policy = lock_policy if lock_policy is not None else NoOpLockPolicy()
+        self.propagation = propagation if propagation is not None else PropagationEngine()
+        self.structure_lock = self.lock_policy.graph_lock()
+        self._registries: list["MetadataRegistry"] = []
+        self.handlers_created = 0
+        self.handlers_removed = 0
+
+    def register(self, registry: "MetadataRegistry") -> None:
+        self._registries.append(registry)
+
+    def unregister(self, registry: "MetadataRegistry") -> None:
+        """Forget a registry (runtime query uninstallation).
+
+        The registry must have no included handlers; cancelling the owning
+        node's subscriptions first is the caller's responsibility.
+        """
+        if registry.included_keys():
+            raise MetadataError(
+                f"cannot unregister {registry!r}: items are still included"
+            )
+        try:
+            self._registries.remove(registry)
+        except ValueError:
+            pass
+
+    def registries(self) -> Sequence["MetadataRegistry"]:
+        return tuple(self._registries)
+
+    def handler_created(self, handler: MetadataHandler) -> None:
+        self.handlers_created += 1
+
+    def handler_removed(self, handler: MetadataHandler) -> None:
+        self.handlers_removed += 1
+
+    @property
+    def included_handler_count(self) -> int:
+        """Number of handlers currently alive across all registries."""
+        return self.handlers_created - self.handlers_removed
+
+    def subscribe_all(self) -> list["MetadataSubscription"]:
+        """Subscribe to every available item of every registry.
+
+        This is the *provide-all* strategy the paper argues against
+        ("providing all available metadata would be too expensive") — the
+        baseline of the query-scalability benchmark (experiment E4).
+        """
+        subscriptions = []
+        for registry in self._registries:
+            for key in registry.available_keys():
+                subscriptions.append(registry.subscribe(key))
+        return subscriptions
+
+    def stats(self) -> dict:
+        """Global accounting snapshot for benchmarks and the profiler."""
+        return {
+            "handlers_created": self.handlers_created,
+            "handlers_removed": self.handlers_removed,
+            "handlers_included": self.included_handler_count,
+            "periodic_tasks": self.scheduler.active_task_count(),
+            **self.propagation.stats(),
+        }
+
+
+class MetadataSubscription:
+    """Consumer-facing proxy of a shared metadata handler (Section 2.1).
+
+    ``get()`` returns the current metadata value through the shared handler;
+    ``cancel()`` unsubscribes (idempotence is *not* silent: cancelling twice
+    raises, because an unmatched unsubscription indicates a bookkeeping bug
+    in the consumer).
+    """
+
+    __slots__ = ("registry", "handler", "key", "_active")
+
+    def __init__(self, registry: "MetadataRegistry", handler: MetadataHandler) -> None:
+        self.registry = registry
+        self.handler = handler
+        self.key = handler.key
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def get(self) -> Any:
+        """Current value of the subscribed metadata item."""
+        if not self._active:
+            raise SubscriptionError(f"subscription to {self.key!r} was cancelled")
+        return self.handler.get()
+
+    def cancel(self) -> None:
+        """Unsubscribe; triggers exclusion of no-longer-needed dependents."""
+        if not self._active:
+            raise SubscriptionError(f"subscription to {self.key!r} cancelled twice")
+        self._active = False
+        self.registry._unsubscribe(self.handler)
+
+    def __enter__(self) -> "MetadataSubscription":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._active:
+            self.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._active else "cancelled"
+        return f"MetadataSubscription({self.key!r}, {state})"
+
+
+class MetadataRegistry:
+    """Per-node (or per-module) metadata catalogue and handler store."""
+
+    def __init__(self, owner: Any, system: MetadataSystem) -> None:
+        self.owner = owner
+        self.system = system
+        self._definitions: dict[MetadataKey, MetadataDefinition] = {}
+        self._handlers: dict[MetadataKey, MetadataHandler] = {}
+        self._probes: dict[str, Probe] = {}
+        self.node_lock = system.lock_policy.node_lock(owner)
+        system.register(self)
+
+    # -- shared services -------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        return self.system.clock
+
+    @property
+    def scheduler(self) -> PeriodicScheduler:
+        return self.system.scheduler
+
+    @property
+    def propagation(self) -> PropagationEngine:
+        return self.system.propagation
+
+    @property
+    def lock_policy(self) -> LockPolicy:
+        return self.system.lock_policy
+
+    # -- publishing (provider side) ---------------------------------------------
+
+    def define(self, definition: MetadataDefinition, override: bool = False) -> None:
+        """Publish a metadata item this node can provide.
+
+        ``override=True`` implements metadata inheritance (Section 4.4.2): a
+        subclass may replace an inherited definition — including its
+        dependencies — as long as the item is not currently included.
+        """
+        key = definition.key
+        if key in self._definitions and not override:
+            raise DuplicateMetadataError(
+                f"metadata item {key!r} already defined on {self._owner_name()}; "
+                "pass override=True to redefine it"
+            )
+        if key in self._handlers:
+            raise MetadataError(
+                f"cannot redefine {key!r} on {self._owner_name()} while it is included"
+            )
+        self._definitions[key] = definition
+
+    def undefine(self, key: MetadataKey) -> None:
+        """Withdraw a published item (must not be included)."""
+        if key in self._handlers:
+            raise MetadataError(
+                f"cannot undefine {key!r} on {self._owner_name()} while it is included"
+            )
+        if key not in self._definitions:
+            raise UnknownMetadataError(self.owner, key)
+        del self._definitions[key]
+
+    def add_probe(self, probe: Probe) -> Probe:
+        """Register a monitoring probe referenced by definitions' ``monitors``."""
+        if probe.name in self._probes:
+            raise DuplicateMetadataError(
+                f"probe {probe.name!r} already registered on {self._owner_name()}"
+            )
+        self._probes[probe.name] = probe
+        return probe
+
+    def probe(self, name: str) -> Probe:
+        """Look up a registered probe by name."""
+        try:
+            return self._probes[name]
+        except KeyError:
+            raise MetadataError(
+                f"no probe {name!r} on {self._owner_name()}"
+            ) from None
+
+    # -- discovery -----------------------------------------------------------------
+
+    def available_keys(self) -> list[MetadataKey]:
+        """Keys of all published items, in definition order."""
+        return list(self._definitions)
+
+    def included_keys(self) -> list[MetadataKey]:
+        """Keys of items with a live handler."""
+        return list(self._handlers)
+
+    def describe(self, key: MetadataKey) -> MetadataDefinition:
+        """Definition of a published item."""
+        try:
+            return self._definitions[key]
+        except KeyError:
+            raise UnknownMetadataError(self.owner, key) from None
+
+    def is_included(self, key: MetadataKey) -> bool:
+        return key in self._handlers
+
+    def handler(self, key: MetadataKey) -> MetadataHandler:
+        """The live handler of an included item (internal/diagnostic access)."""
+        try:
+            return self._handlers[key]
+        except KeyError:
+            raise MetadataNotIncludedError(
+                f"metadata item {key!r} on {self._owner_name()} is not included"
+            ) from None
+
+    # -- subscription (consumer side) --------------------------------------------------
+
+    def subscribe(self, key: MetadataKey) -> MetadataSubscription:
+        """Subscribe to a metadata item; include it and its dependency closure."""
+        with self.system.structure_lock.write():
+            handler = self._include(key, [])
+            handler.consumer_count += 1
+            return MetadataSubscription(self, handler)
+
+    def _unsubscribe(self, handler: MetadataHandler) -> None:
+        with self.system.structure_lock.write():
+            handler.consumer_count -= 1
+            self._exclude(handler.key)
+
+    def get(self, key: MetadataKey) -> Any:
+        """Read the current value of an *included* item without subscribing."""
+        return self.handler(key).get()
+
+    def notify_changed(self, key: MetadataKey) -> None:
+        """Fire a manual event notification for ``key`` (Section 3.2.3).
+
+        Used when the state behind an on-demand item changed and dependent
+        triggered handlers must refresh immediately.  A no-op when the item
+        is not included (nothing can depend on an item without a handler).
+        """
+        handler = self._handlers.get(key)
+        if handler is None:
+            return
+        self.propagation.event_fired(handler)
+
+    # -- include / exclude machinery (Section 2.4) ----------------------------------------
+
+    def _include(self, key: MetadataKey, stack: list) -> MetadataHandler:
+        """Depth-first inclusion of ``key`` and its dependency closure.
+
+        ``stack`` carries the in-progress traversal path for cycle detection.
+        Returns the (new or shared) handler with its counter incremented.
+        """
+        if key not in self._definitions:
+            raise UnknownMetadataError(self.owner, key)
+        ref = (id(self), key)
+        if ref in stack:
+            start = stack.index(ref)
+            cycle = [f"{self._owner_name()}/{key!r}"] + [
+                entry[1] for entry in stack[start + 1 :]
+            ]
+            raise DependencyCycleError(cycle + [f"{self._owner_name()}/{key!r}"])
+
+        existing = self._handlers.get(key)
+        if existing is not None:
+            # "The traversal stops at items already provided" — but the
+            # counter still moves, so sharing is accounted for.
+            existing.include_count += 1
+            return existing
+
+        definition = self._definitions[key]
+        handler = create_handler(self, definition)
+
+        stack.append(ref)
+        try:
+            for spec in definition.resolve_specs(self):
+                for target_registry, dep_key in self._resolve_spec(spec):
+                    dep_handler = target_registry._include(dep_key, stack)
+                    handler.dependency_handlers.append((spec, dep_handler))
+                    dep_handler.attach_dependent(handler)
+        except Exception:
+            # Roll back partially included dependencies so a failed subscribe
+            # leaves the system unchanged.
+            for spec, dep_handler in handler.dependency_handlers:
+                dep_handler.detach_dependent(handler)
+                dep_handler.registry._exclude(dep_handler.key)
+            raise
+        finally:
+            stack.pop()
+
+        for probe_name in definition.monitors:
+            self.probe(probe_name).activate()
+
+        self._handlers[key] = handler
+        handler.include_count = 1
+        try:
+            handler.on_included()
+        except Exception:
+            # Initial computation failed: undo the inclusion entirely.
+            del self._handlers[key]
+            handler.removed = True
+            for probe_name in definition.monitors:
+                self.probe(probe_name).deactivate()
+            for spec, dep_handler in handler.dependency_handlers:
+                dep_handler.detach_dependent(handler)
+                dep_handler.registry._exclude(dep_handler.key)
+            raise
+        self.system.handler_created(handler)
+        return handler
+
+    def _exclude(self, key: MetadataKey) -> None:
+        """Decrement ``key``'s counter; remove and cascade at zero."""
+        handler = self._handlers.get(key)
+        if handler is None:
+            raise SubscriptionError(
+                f"exclude of {key!r} on {self._owner_name()} without inclusion"
+            )
+        handler.include_count -= 1
+        if handler.include_count > 0:
+            return
+        del self._handlers[key]
+        handler.on_removed()
+        for probe_name in handler.definition.monitors:
+            self.probe(probe_name).deactivate()
+        for spec, dep_handler in handler.dependency_handlers:
+            dep_handler.detach_dependent(handler)
+            dep_handler.registry._exclude(dep_handler.key)
+        self.system.handler_removed(handler)
+
+    # -- dependency spec resolution ------------------------------------------------------
+
+    def _resolve_spec(self, spec: Any) -> Iterator[tuple["MetadataRegistry", MetadataKey]]:
+        """Resolve a symbolic dependency spec to concrete (registry, key) pairs."""
+        if isinstance(spec, SelfDep):
+            yield self, spec.key
+        elif isinstance(spec, NodeDep):
+            yield self._registry_of(spec.node), spec.key
+        elif isinstance(spec, UpstreamDep):
+            for node in self._neighbours("upstream_nodes", spec.port, spec.key):
+                yield self._registry_of(node), spec.key
+        elif isinstance(spec, DownstreamDep):
+            for node in self._neighbours("downstream_nodes", spec.port, spec.key):
+                yield self._registry_of(node), spec.key
+        elif isinstance(spec, ModuleDep):
+            yield self._module_registry(spec.module), spec.key
+        else:
+            raise MetadataError(f"unknown dependency spec {spec!r}")
+
+    def _neighbours(self, attr: str, port: int | None, key: MetadataKey) -> list:
+        nodes = getattr(self.owner, attr, None)
+        if nodes is None:
+            raise MetadataError(
+                f"{self._owner_name()} has no {attr}; cannot resolve dependency on {key!r}"
+            )
+        nodes = list(nodes)
+        if port is None:
+            if not nodes:
+                raise MetadataError(
+                    f"{self._owner_name()} has no {attr} to resolve dependency on {key!r}"
+                )
+            return nodes
+        if port >= len(nodes):
+            raise MetadataError(
+                f"{self._owner_name()} has no {attr}[{port}] for dependency on {key!r}"
+            )
+        return [nodes[port]]
+
+    def _module_registry(self, path: str) -> "MetadataRegistry":
+        obj = self.owner
+        for part in path.split("."):
+            getter = getattr(obj, "get_module", None)
+            if getter is None:
+                raise MetadataError(
+                    f"{obj!r} has no modules; cannot resolve module path {path!r}"
+                )
+            obj = getter(part)
+        return self._registry_of(obj)
+
+    @staticmethod
+    def _registry_of(obj: Any) -> "MetadataRegistry":
+        registry = getattr(obj, "metadata", None)
+        if not isinstance(registry, MetadataRegistry):
+            raise MetadataError(f"{obj!r} has no metadata registry")
+        return registry
+
+    # -- misc --------------------------------------------------------------------------
+
+    def _owner_name(self) -> str:
+        return str(getattr(self.owner, "name", self.owner))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetadataRegistry({self._owner_name()}, "
+            f"defined={len(self._definitions)}, included={len(self._handlers)})"
+        )

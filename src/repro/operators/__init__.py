@@ -1,0 +1,32 @@
+"""Stream operators: stateless transforms, windows, join, aggregation."""
+
+from repro.operators.aggregate import SlidingAggregate
+from repro.operators.distinct import DistinctFilter
+from repro.operators.filter import Filter
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.map import Map
+from repro.operators.project import Project
+from repro.operators.sweeparea import (
+    PROBE_FRACTION,
+    HashSweepArea,
+    ListSweepArea,
+    SweepArea,
+)
+from repro.operators.union import Union
+from repro.operators.window import CountWindow, TimeWindow
+
+__all__ = [
+    "Filter",
+    "DistinctFilter",
+    "Map",
+    "Project",
+    "Union",
+    "TimeWindow",
+    "CountWindow",
+    "SlidingWindowJoin",
+    "SlidingAggregate",
+    "SweepArea",
+    "ListSweepArea",
+    "HashSweepArea",
+    "PROBE_FRACTION",
+]

@@ -1,0 +1,75 @@
+"""Sliding-window aggregation operator."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Sequence, Union
+
+from repro.common.errors import GraphError
+from repro.graph.element import Schema, StreamElement
+from repro.graph.node import Operator
+
+__all__ = ["SlidingAggregate"]
+
+AggregateFn = Callable[[Sequence[float]], float]
+
+_BUILTINS: dict[str, AggregateFn] = {
+    "count": lambda values: float(len(values)),
+    "sum": lambda values: float(sum(values)),
+    "avg": lambda values: float(sum(values) / len(values)) if values else 0.0,
+    "min": lambda values: float(min(values)) if values else 0.0,
+    "max": lambda values: float(max(values)) if values else 0.0,
+}
+
+
+class SlidingAggregate(Operator):
+    """Emits an aggregate over the currently valid elements per arrival.
+
+    Expects validity-windowed input (place a window operator upstream).  The
+    operator state is the buffer of valid elements, so its memory-usage
+    metadata grows with rate × window size — the quantity the adaptive
+    resource manager of Section 3.3 keeps in bounds.
+    """
+
+    arity = 1
+
+    def __init__(
+        self,
+        name: str,
+        field: str,
+        fn: Union[str, AggregateFn] = "avg",
+    ) -> None:
+        super().__init__(name)
+        self.field = field
+        if isinstance(fn, str):
+            try:
+                self.fn: AggregateFn = _BUILTINS[fn]
+            except KeyError:
+                raise GraphError(
+                    f"unknown aggregate {fn!r}; use one of {sorted(_BUILTINS)}"
+                ) from None
+            self.fn_name = fn
+        else:
+            self.fn = fn
+            self.fn_name = getattr(fn, "__name__", "custom")
+        self._buffer: Deque[StreamElement] = deque()
+
+    @property
+    def output_schema(self) -> Schema:
+        return Schema((self.field, f"{self.fn_name}_{self.field}"), element_size=16)
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        now = element.timestamp
+        while self._buffer and self._buffer[0].is_expired(now):
+            self._buffer.popleft()
+        self._buffer.append(element)
+        values = [e.field(self.field) for e in self._buffer]
+        self.charge_cost(0.01 * len(values))  # aggregate recomputation cost
+        payload = {
+            self.field: element.field(self.field),
+            f"{self.fn_name}_{self.field}": self.fn(values),
+        }
+        self.emit(StreamElement(payload, now, element.expiry))
+
+    def state_size(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,34 @@
+"""Selection operator."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.element import StreamElement
+from repro.graph.node import Operator
+
+__all__ = ["Filter"]
+
+
+class Filter(Operator):
+    """Forwards elements satisfying ``predicate``.
+
+    The operator's measured ``operator.selectivity`` metadata item directly
+    reflects the predicate's pass rate — the quantity the Chain scheduler [5]
+    reacts to when it changes significantly.
+    """
+
+    arity = 1
+
+    def __init__(self, name: str, predicate: Callable[[StreamElement], bool]) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+        self.passed = 0
+        self.rejected = 0
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        if self.predicate(element):
+            self.passed += 1
+            self.emit(element)
+        else:
+            self.rejected += 1

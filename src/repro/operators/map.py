@@ -1,0 +1,35 @@
+"""Mapping (per-element transformation) operator."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.graph.element import Schema, StreamElement
+from repro.graph.node import Operator
+
+__all__ = ["Map"]
+
+
+class Map(Operator):
+    """Applies ``fn`` to each payload; optionally changes the output schema."""
+
+    arity = 1
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[object], object],
+        output_schema: Optional[Schema] = None,
+    ) -> None:
+        super().__init__(name)
+        self.fn = fn
+        self._schema_override = output_schema
+
+    @property
+    def output_schema(self) -> Schema:
+        if self._schema_override is not None:
+            return self._schema_override
+        return super().output_schema
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        self.emit(StreamElement(self.fn(element.payload), element.timestamp, element.expiry))

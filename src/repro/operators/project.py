@@ -1,0 +1,32 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.element import Schema, StreamElement
+from repro.graph.node import Operator
+
+__all__ = ["Project"]
+
+
+class Project(Operator):
+    """Keeps only the ``fields`` of each mapping payload.
+
+    Projection shrinks the element size, which the downstream memory-usage
+    metadata picks up through the projected schema.
+    """
+
+    arity = 1
+
+    def __init__(self, name: str, fields: Sequence[str]) -> None:
+        super().__init__(name)
+        self.fields = tuple(fields)
+
+    @property
+    def output_schema(self) -> Schema:
+        return super().output_schema.project(self.fields)
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        payload = {field: element.field(field) for field in self.fields}
+        self.emit(StreamElement(payload, element.timestamp, element.expiry))

@@ -1,0 +1,31 @@
+"""Union operator merging several streams."""
+
+from __future__ import annotations
+
+from repro.common.errors import SchemaError
+from repro.graph.element import Schema, StreamElement
+from repro.graph.node import Operator
+
+__all__ = ["Union"]
+
+
+class Union(Operator):
+    """Interleaves all input streams; inputs must share a field layout."""
+
+    arity = None  # variadic
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    @property
+    def output_schema(self) -> Schema:
+        schemas = [node.output_schema for node in self.upstream_nodes]
+        fields = {schema.fields for schema in schemas}
+        if len(fields) > 1:
+            raise SchemaError(
+                f"union {self.name} inputs disagree on fields: {sorted(fields)}"
+            )
+        return schemas[0]
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        self.emit(element)

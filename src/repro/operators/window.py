@@ -1,0 +1,166 @@
+"""Window operators.
+
+"Windowing constructs are usually implemented by a separate operator in SSPS,
+namely the window operator.  In the case of a time-based sliding window, this
+operator assigns a validity to each incoming stream element according to the
+window size." (Section 2.5)
+
+:class:`TimeWindow` is the operator of Figure 3 (ω).  Its metadata items
+implement the paper's running cost-model example:
+
+* ``window.size`` — the configured window size; changed at runtime by the
+  resource manager (Section 3.3), which fires a manual event notification so
+  dependent triggered items refresh immediately.
+* ``window.element_validity`` — *measured* mean validity span (periodic).
+* ``estimate.element_validity`` — *estimated* validity: a triggered item with
+  an intra-node dependency on ``window.size``.
+* ``estimate.output_rate`` — triggered, inter-node dependency on the input's
+  ``estimate.output_rate`` ("the expected output rate of a window operator
+  depends on the expected output rate of its input ... dependencies may
+  proceed recursively").
+
+:class:`CountWindow` assigns count-based validities: an element expires when
+the N-th later element arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.common.errors import GraphError
+from repro.graph.element import StreamElement
+from repro.graph.node import Operator
+from repro.metadata import catalogue as md
+from repro.metadata.item import Mechanism, MetadataDefinition, SelfDep, UpstreamDep
+from repro.metadata.monitor import MeanProbe
+from repro.metadata.registry import MetadataRegistry
+
+__all__ = ["TimeWindow", "CountWindow"]
+
+
+class TimeWindow(Operator):
+    """Time-based sliding window: validity ``[t, t + size)``."""
+
+    arity = 1
+    base_cost_per_element = 0.5  # windowing is cheap
+
+    def __init__(self, name: str, size: float) -> None:
+        super().__init__(name)
+        if size <= 0:
+            raise GraphError(f"window size must be positive, got {size}")
+        self._size = float(size)
+        self._validity_probe: MeanProbe | None = None
+
+    @property
+    def size(self) -> float:
+        return self._size
+
+    def set_size(self, size: float) -> None:
+        """Adapt the window size at runtime (Section 3.3).
+
+        Fires the ``window.size`` event notification, which triggers the
+        re-estimation cascade (element validity → join CPU usage) through
+        the dependency graph.
+        """
+        if size <= 0:
+            raise GraphError(f"window size must be positive, got {size}")
+        self._size = float(size)
+        self.notify_state_changed(md.WINDOW_SIZE)
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        expiry = element.timestamp + self._size
+        if self._validity_probe is not None:
+            self._validity_probe.record(expiry - element.timestamp)
+        self.emit(element.with_expiry(expiry))
+
+    def register_metadata(self, registry: MetadataRegistry) -> None:
+        super().register_metadata(registry)
+        self._validity_probe = registry.add_probe(MeanProbe("validity"))
+        period = self.metadata_period
+
+        registry.define(MetadataDefinition(
+            md.WINDOW_SIZE, Mechanism.ON_DEMAND,
+            compute=lambda ctx: self._size,
+            description="configured window size; on-demand because it simply "
+                        "forwards existing node state (Section 3.2.1), with a "
+                        "manual event notification on change (Section 3.2.3)",
+        ))
+        registry.define(MetadataDefinition(
+            md.ELEMENT_VALIDITY, Mechanism.PERIODIC, period=period,
+            monitors=("validity",),
+            compute=lambda ctx: self._validity_probe.mean_and_reset(),
+            description="measured mean validity span assigned this period",
+        ))
+        registry.define(MetadataDefinition(
+            md.EST_ELEMENT_VALIDITY, Mechanism.TRIGGERED,
+            dependencies=[SelfDep(md.WINDOW_SIZE)],
+            compute=lambda ctx: ctx.value(md.WINDOW_SIZE),
+            description="estimated element validity (= window size); "
+                        "intra-node dependency of Figure 3",
+        ))
+        registry.define(MetadataDefinition(
+            md.EST_OUTPUT_RATE, Mechanism.TRIGGERED,
+            dependencies=[UpstreamDep(md.EST_OUTPUT_RATE, port=0)],
+            compute=lambda ctx: ctx.value(md.EST_OUTPUT_RATE),
+            description="estimated output rate; a window forwards its "
+                        "input's estimated rate (recursive inter-node "
+                        "dependency of Figure 3)",
+        ))
+
+
+class CountWindow(Operator):
+    """Count-based sliding window of the last ``count`` elements.
+
+    The validity of an element ends when the ``count``-th later element
+    arrives; since that instant is unknown in advance, the operator keeps the
+    last ``count`` emitted elements and stamps the displaced element's expiry
+    when it leaves the window.  Downstream state (sweep areas) holds the same
+    element objects, so the stamp is visible there immediately.
+    """
+
+    arity = 1
+    base_cost_per_element = 0.5
+
+    def __init__(self, name: str, count: int) -> None:
+        super().__init__(name)
+        if count <= 0:
+            raise GraphError(f"window count must be positive, got {count}")
+        self.count = int(count)
+        self._live: Deque[StreamElement] = deque()
+
+    def on_element(self, element: StreamElement, port: int) -> None:
+        out = StreamElement(element.payload, element.timestamp)
+        self._live.append(out)
+        if len(self._live) > self.count:
+            displaced = self._live.popleft()
+            displaced.expiry = element.timestamp
+        self.emit(out)
+
+    def state_size(self) -> int:
+        return len(self._live)
+
+    def register_metadata(self, registry: MetadataRegistry) -> None:
+        super().register_metadata(registry)
+        registry.define(MetadataDefinition(
+            md.WINDOW_SIZE, Mechanism.ON_DEMAND,
+            compute=lambda ctx: self.count,
+            description="configured window size in elements",
+        ))
+        registry.define(MetadataDefinition(
+            md.EST_OUTPUT_RATE, Mechanism.TRIGGERED,
+            dependencies=[UpstreamDep(md.EST_OUTPUT_RATE, port=0)],
+            compute=lambda ctx: ctx.value(md.EST_OUTPUT_RATE),
+            description="estimated output rate (pass-through)",
+        ))
+        registry.define(MetadataDefinition(
+            md.EST_ELEMENT_VALIDITY, Mechanism.TRIGGERED,
+            dependencies=[SelfDep(md.WINDOW_SIZE),
+                          UpstreamDep(md.EST_OUTPUT_RATE, port=0)],
+            compute=self._estimate_validity,
+            description="estimated validity = count / input rate",
+        ))
+
+    def _estimate_validity(self, ctx) -> float:
+        rate = ctx.value(md.EST_OUTPUT_RATE)
+        return self.count / rate if rate > 0 else 0.0

@@ -1,0 +1,19 @@
+"""Executors and operator scheduling strategies."""
+
+from repro.runtime.scheduler import (
+    ChainScheduler,
+    OperatorScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+)
+from repro.runtime.simulation import SimulationExecutor
+from repro.runtime.threaded import ThreadedExecutor
+
+__all__ = [
+    "OperatorScheduler",
+    "RoundRobinScheduler",
+    "ChainScheduler",
+    "PriorityScheduler",
+    "SimulationExecutor",
+    "ThreadedExecutor",
+]

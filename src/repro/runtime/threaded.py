@@ -1,0 +1,138 @@
+"""Real-thread execution of a query graph (Section 4.2's environment).
+
+PIPES is a multi-threaded engine; the synchronization machinery of the
+metadata framework (reentrant RW locks at graph/node/item level, isolation of
+periodic handlers) only proves itself under true concurrency.  The
+:class:`ThreadedExecutor` runs
+
+* one producer thread per stream driver (sleeping real inter-arrival gaps),
+* one or more processing threads draining operator queues, and
+* the metadata system's :class:`~repro.metadata.scheduling.ThreadedScheduler`
+  worker pool for periodic updates,
+
+while any number of consumer threads read metadata concurrently.  It is used
+by the threading integration tests and the lock-granularity benchmark (E9).
+
+In threaded mode one stream *time unit is one wall-clock second*: configure
+arrival rates in elements/second and metadata periods in seconds (e.g.
+``node.metadata_period = 0.05``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Optional
+
+from repro.common.clock import SystemClock
+from repro.common.errors import SimulationError
+from repro.graph.graph import QueryGraph
+from repro.metadata.scheduling import ThreadedScheduler
+from repro.runtime.scheduler import OperatorScheduler, RoundRobinScheduler
+from repro.sources.synthetic import StreamDriver
+
+__all__ = ["ThreadedExecutor"]
+
+
+class ThreadedExecutor:
+    """Wall-clock, multi-threaded executor."""
+
+    def __init__(
+        self,
+        graph: QueryGraph,
+        drivers: Iterable[StreamDriver] = (),
+        scheduler: Optional[OperatorScheduler] = None,
+        processor_threads: int = 1,
+    ) -> None:
+        if not isinstance(graph.clock, SystemClock):
+            raise SimulationError("ThreadedExecutor requires a SystemClock")
+        if not isinstance(graph.metadata_system.scheduler, ThreadedScheduler):
+            raise SimulationError("ThreadedExecutor requires a ThreadedScheduler")
+        if processor_threads < 1:
+            raise SimulationError("need at least one processor thread")
+        if not graph.frozen:
+            graph.freeze()
+        self.graph = graph
+        self.drivers = list(drivers)
+        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self.scheduler.attach(graph)
+        self.processor_threads = processor_threads
+        self.steps_executed = 0
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        # Serialises operator steps across processor threads; operators are
+        # not internally thread-safe, which mirrors PIPES' operator-level lock.
+        self._process_lock = threading.Lock()
+
+    def start(self) -> None:
+        """Launch producer and processing threads plus the metadata pool."""
+        if self._threads:
+            raise SimulationError("executor already started")
+        self._stop.clear()
+        self.graph.metadata_system.scheduler.start()
+        for index, driver in enumerate(self.drivers):
+            thread = threading.Thread(
+                target=self._produce_loop, args=(driver,),
+                name=f"producer-{index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        for index in range(self.processor_threads):
+            thread = threading.Thread(
+                target=self._process_loop, name=f"processor-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop all threads and the metadata worker pool."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        self.graph.metadata_system.scheduler.stop()
+
+    def __enter__(self) -> "ThreadedExecutor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def run_for(self, seconds: float) -> None:
+        """Convenience: start, sleep, stop."""
+        self.start()
+        try:
+            time.sleep(seconds)
+        finally:
+            self.stop()
+
+    # -- thread bodies ---------------------------------------------------------
+
+    def _produce_loop(self, driver: StreamDriver) -> None:
+        clock = self.graph.clock
+        next_time = driver.first_arrival()
+        while not self._stop.is_set():
+            delay = next_time - clock.now()
+            if delay > 0:
+                # Wake early so stop() stays responsive during long gaps.
+                if self._stop.wait(min(delay, 0.05)):
+                    return
+                if clock.now() < next_time:
+                    continue
+            next_time = driver.produce(clock.now())
+            if next_time == float("inf"):
+                return
+
+    def _process_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._process_lock:
+                node = self.scheduler.next_node()
+                if node is not None:
+                    node.step()
+                    self.steps_executed += 1
+                    continue_work = True
+                else:
+                    continue_work = False
+            if not continue_work:
+                time.sleep(0.0005)

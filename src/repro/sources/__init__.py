@@ -1,0 +1,35 @@
+"""Synthetic and replayable stream sources."""
+
+from repro.sources.replay import Trace, TraceReplayDriver, record_trace
+from repro.sources.synthetic import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantRate,
+    DriftingRate,
+    NormalValues,
+    PoissonArrivals,
+    SequentialValues,
+    StreamDriver,
+    TraceArrivals,
+    UniformValues,
+    ValueGenerator,
+    ZipfValues,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DriftingRate",
+    "TraceArrivals",
+    "ValueGenerator",
+    "UniformValues",
+    "NormalValues",
+    "ZipfValues",
+    "SequentialValues",
+    "StreamDriver",
+    "Trace",
+    "TraceReplayDriver",
+    "record_trace",
+]

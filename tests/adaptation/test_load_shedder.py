@@ -1,0 +1,111 @@
+"""Tests for metadata-driven load shedding [21]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.load_shedder import DROP_PROBABILITY, LoadShedder, Shedder
+from repro.common.errors import GraphError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.filter import Filter
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, SequentialValues, StreamDriver
+
+
+def shedding_plan():
+    graph = QueryGraph(default_metadata_period=25.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    shedder = graph.add(Shedder("shed", seed=0))
+    expensive = graph.add(Filter("work", lambda e: True))
+    expensive.base_cost_per_element = 10.0
+    sink = graph.add(Sink("out"))
+    graph.connect(source, shedder)
+    graph.connect(shedder, expensive)
+    graph.connect(expensive, sink)
+    graph.freeze()
+    return graph, source, shedder, expensive, sink
+
+
+class TestShedderOperator:
+    def test_zero_probability_passes_everything(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        for i in range(20):
+            source.produce({"x": i}, float(i))
+        while shedder.step() or expensive.step() or sink.step():
+            pass
+        assert sink.received == 20
+        assert shedder.dropped == 0
+
+    def test_full_probability_drops_everything(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        shedder.set_drop_probability(1.0)
+        for i in range(20):
+            source.produce({"x": i}, float(i))
+        while shedder.step() or expensive.step() or sink.step():
+            pass
+        assert sink.received == 0
+        assert shedder.dropped == 20
+
+    def test_probability_clamped(self):
+        shedder = Shedder("s")
+        shedder.set_drop_probability(5.0)
+        assert shedder.drop_probability == 1.0
+        shedder.set_drop_probability(-1.0)
+        assert shedder.drop_probability == 0.0
+
+    def test_publishes_drop_probability_metadata(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        with shedder.metadata.subscribe(DROP_PROBABILITY) as s:
+            assert s.get() == 0.0
+            shedder.set_drop_probability(0.4)
+            assert s.get() == 0.4
+
+
+class TestLoadShedderController:
+    def test_invalid_configuration(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        with pytest.raises(GraphError):
+            LoadShedder([shedder], [expensive], cpu_bound=0.0)
+        with pytest.raises(GraphError):
+            LoadShedder([], [expensive], cpu_bound=1.0)
+        with pytest.raises(GraphError):
+            LoadShedder([shedder], [], cpu_bound=1.0)
+
+    def test_sheds_under_overload_and_bounds_cpu(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        # 1 element/unit at cost 10 -> unshed CPU usage ~10; bound at 4.
+        controller = LoadShedder([shedder], [expensive], cpu_bound=4.0, step=0.2)
+        executor = SimulationExecutor(
+            graph, [StreamDriver(source, ConstantRate(1.0), SequentialValues())]
+        )
+        executor.every(25.0, controller.check)
+        executor.run_until(2000.0)
+        assert shedder.drop_probability > 0.0
+        # Settled measured CPU near or below the bound.
+        late = [d.total_cpu for d in controller.decisions[-10:]]
+        assert sum(late) / len(late) < 4.0 * 1.5
+        controller.close()
+
+    def test_backs_off_when_load_disappears(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        controller = LoadShedder([shedder], [expensive], cpu_bound=4.0, step=0.2)
+        shedder.set_drop_probability(0.8)
+        executor = SimulationExecutor(graph, [])  # no arrivals at all
+        executor.every(25.0, controller.check)
+        executor.run_until(1000.0)
+        assert shedder.drop_probability == 0.0
+        controller.close()
+
+    def test_decisions_recorded(self):
+        graph, source, shedder, expensive, sink = shedding_plan()
+        controller = LoadShedder([shedder], [expensive], cpu_bound=4.0)
+        executor = SimulationExecutor(
+            graph, [StreamDriver(source, ConstantRate(1.0), SequentialValues())]
+        )
+        executor.every(50.0, controller.check)
+        executor.run_until(300.0)
+        assert len(controller.decisions) == 6
+        assert all(d.bound == 4.0 for d in controller.decisions)
+        controller.close()

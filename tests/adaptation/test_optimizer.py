@@ -1,0 +1,99 @@
+"""Tests for the plan-migration advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.optimizer import PlanMigrationAdvisor
+from repro.common.errors import GraphError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, StreamDriver, UniformValues
+
+
+def advisor_plan(left_rate, right_rate):
+    graph = QueryGraph(default_metadata_period=25.0)
+    s0 = graph.add(Source("s0", Schema(("k",))))
+    s1 = graph.add(Source("s1", Schema(("k",))))
+    w0 = graph.add(TimeWindow("w0", 50.0))
+    w1 = graph.add(TimeWindow("w1", 50.0))
+    join = graph.add(SlidingWindowJoin("join", key_fn=lambda e: e.field("k")))
+    sink = graph.add(Sink("out"))
+    for a, b in ((s0, w0), (s1, w1), (w0, join), (w1, join), (join, sink)):
+        graph.connect(a, b)
+    graph.freeze()
+    drivers = [
+        StreamDriver(s0, ConstantRate(left_rate), UniformValues("k", 0, 5), seed=1),
+        StreamDriver(s1, ConstantRate(right_rate), UniformValues("k", 0, 5), seed=2),
+    ]
+    return graph, drivers
+
+
+class TestAdvisor:
+    def test_requires_joins(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        sink = graph.add(Sink("out"))
+        graph.connect(source, sink)
+        graph.freeze()
+        with pytest.raises(GraphError):
+            PlanMigrationAdvisor(graph)
+
+    def test_invalid_threshold(self):
+        graph, _ = advisor_plan(1.0, 1.0)
+        with pytest.raises(GraphError):
+            PlanMigrationAdvisor(graph, ratio_threshold=1.0)
+
+    def test_balanced_rates_no_recommendation(self):
+        graph, drivers = advisor_plan(0.5, 0.5)
+        advisor = PlanMigrationAdvisor(graph, ratio_threshold=2.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, advisor.check)
+        executor.run_until(500.0)
+        assert advisor.recommendations == []
+        advisor.close()
+
+    def test_skewed_rates_trigger_recommendation(self):
+        graph, drivers = advisor_plan(2.0, 0.2)
+        advisor = PlanMigrationAdvisor(graph, ratio_threshold=3.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, advisor.check)
+        executor.run_until(500.0)
+        assert len(advisor.recommendations) >= 1
+        rec = advisor.recommendations[0]
+        assert rec.join == "join"
+        assert rec.ratio >= 3.0
+
+    def test_no_repeated_recommendation_for_same_orientation(self):
+        graph, drivers = advisor_plan(2.0, 0.2)
+        advisor = PlanMigrationAdvisor(graph, ratio_threshold=3.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, advisor.check)
+        executor.run_until(1000.0)
+        # Constant skew: exactly one flip, not one per check.
+        assert len(advisor.recommendations) == 1
+        advisor.close()
+
+    def test_callback_invoked(self):
+        graph, drivers = advisor_plan(2.0, 0.2)
+        seen = []
+        advisor = PlanMigrationAdvisor(graph, ratio_threshold=3.0,
+                                       callback=seen.append)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, advisor.check)
+        executor.run_until(500.0)
+        assert seen == advisor.recommendations
+
+    def test_close_cancels_subscriptions(self):
+        from repro.metadata import catalogue as md
+
+        graph, drivers = advisor_plan(0.5, 0.5)
+        advisor = PlanMigrationAdvisor(graph)
+        w0 = graph.node("w0")
+        assert w0.metadata.is_included(md.EST_OUTPUT_RATE)
+        advisor.close()
+        assert not w0.metadata.is_included(md.EST_OUTPUT_RATE)

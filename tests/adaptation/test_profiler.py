@@ -1,0 +1,117 @@
+"""Tests for the metadata profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.profiler import MetadataProfiler, TimeSeries
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, SequentialValues, StreamDriver
+
+
+def profiled_run(duration=200.0, sample_every=25.0):
+    graph = QueryGraph(default_metadata_period=25.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    sink = graph.add(Sink("out"))
+    graph.connect(source, sink)
+    graph.freeze()
+    profiler = MetadataProfiler()
+    profiler.watch(source, md.OUTPUT_RATE, label="rate")
+    executor = SimulationExecutor(
+        graph, [StreamDriver(source, ConstantRate(0.2), SequentialValues())]
+    )
+    executor.every(sample_every, profiler.sample)
+    executor.run_until(duration)
+    return graph, source, profiler
+
+
+class TestProfiler:
+    def test_samples_recorded_on_grid(self):
+        _, _, profiler = profiled_run()
+        series = profiler.series["rate"]
+        assert len(series) == 8
+        assert series.times == [25.0 * i for i in range(1, 9)]
+
+    def test_values_converge_to_true_rate(self):
+        _, _, profiler = profiled_run()
+        assert profiler.series["rate"].values[-1] == pytest.approx(0.2, rel=0.1)
+
+    def test_duplicate_label_rejected(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        sink = graph.add(Sink("out"))
+        graph.connect(source, sink)
+        graph.freeze()
+        profiler = MetadataProfiler()
+        profiler.watch(source, md.OUTPUT_RATE, label="rate")
+        with pytest.raises(ValueError):
+            profiler.watch(source, md.EST_OUTPUT_RATE, label="rate")
+        profiler.close()
+
+    def test_close_cancels_subscriptions(self):
+        graph, source, profiler = profiled_run()
+        assert source.metadata.is_included(md.OUTPUT_RATE)
+        profiler.close()
+        assert not source.metadata.is_included(md.OUTPUT_RATE)
+
+    def test_default_label(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        sink = graph.add(Sink("out"))
+        graph.connect(source, sink)
+        graph.freeze()
+        profiler = MetadataProfiler()
+        profiler.watch(source, md.OUTPUT_RATE)
+        assert "s/stream.output_rate" in profiler.series
+        profiler.close()
+
+
+class TestTimeSeries:
+    def test_mean_and_last(self):
+        series = TimeSeries("t")
+        for i, v in enumerate((1.0, 2.0, 3.0)):
+            series.record(float(i), v)
+        assert series.mean() == 2.0
+        assert series.last() == 3.0
+
+    def test_non_numeric_values_skipped_in_stats(self):
+        series = TimeSeries("t")
+        series.record(0.0, "text")
+        series.record(1.0, 4.0)
+        assert series.numeric_values() == [4.0]
+        assert series.mean() == 4.0
+
+    def test_ascii_chart_renders(self):
+        series = TimeSeries("demo")
+        for i in range(100):
+            series.record(float(i), float(i % 10))
+        chart = series.ascii_chart(width=40, height=5)
+        assert "demo" in chart
+        assert "#" in chart
+
+    def test_ascii_chart_empty(self):
+        assert "no numeric samples" in TimeSeries("e").ascii_chart()
+
+    def test_report_combines_series(self):
+        _, _, profiler = profiled_run()
+        assert "rate" in profiler.report()
+
+
+class TestCsvExport:
+    def test_to_csv_round_trips(self, tmp_path):
+        import csv
+
+        _, _, profiler = profiled_run()
+        path = tmp_path / "series.csv"
+        rows = profiler.to_csv(path)
+        assert rows == len(profiler.series["rate"])
+        with open(path, newline="") as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == ["time", "label", "value"]
+        assert len(parsed) == rows + 1
+        assert parsed[1][1] == "rate"
+        profiler.close()

@@ -1,0 +1,118 @@
+"""Tests for adaptive resource management (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.resource_manager import AdaptiveResourceManager
+from repro.common.errors import GraphError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, StreamDriver, UniformValues
+
+
+def join_plan(window=200.0):
+    graph = QueryGraph(default_metadata_period=25.0)
+    s0 = graph.add(Source("s0", Schema(("k",), element_size=100)))
+    s1 = graph.add(Source("s1", Schema(("k",), element_size=100)))
+    w0 = graph.add(TimeWindow("w0", window))
+    w1 = graph.add(TimeWindow("w1", window))
+    join = graph.add(SlidingWindowJoin("join", key_fn=lambda e: e.field("k")))
+    sink = graph.add(Sink("out"))
+    for a, b in ((s0, w0), (s1, w1), (w0, join), (w1, join), (join, sink)):
+        graph.connect(a, b)
+    graph.freeze()
+    drivers = [
+        StreamDriver(s0, ConstantRate(0.5), UniformValues("k", 0, 10), seed=1),
+        StreamDriver(s1, ConstantRate(0.5), UniformValues("k", 0, 10), seed=2),
+    ]
+    return graph, drivers, w0, w1, join
+
+
+class TestDiscovery:
+    def test_requires_joins(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        sink = graph.add(Sink("out"))
+        graph.connect(source, sink)
+        graph.freeze()
+        with pytest.raises(GraphError):
+            AdaptiveResourceManager(graph, memory_budget=100.0)
+
+    def test_invalid_budget(self):
+        graph, *_ = join_plan()
+        with pytest.raises(GraphError):
+            AdaptiveResourceManager(graph, memory_budget=0.0)
+
+    def test_finds_windows_and_subscribes(self):
+        from repro.metadata import catalogue as md
+
+        graph, drivers, w0, w1, join = join_plan()
+        manager = AdaptiveResourceManager(graph, memory_budget=1000.0)
+        assert set(w.name for w in manager._windows) == {"w0", "w1"}
+        assert join.metadata.is_included(md.EST_MEMORY_USAGE)
+        manager.close()
+        assert not join.metadata.is_included(md.EST_MEMORY_USAGE)
+
+
+class TestControl:
+    def test_shrinks_when_over_budget(self):
+        graph, drivers, w0, w1, join = join_plan(window=200.0)
+        # Steady state: 2 * (0.5 * 200 * 100) = 20_000 bytes estimated.
+        manager = AdaptiveResourceManager(graph, memory_budget=10_000.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, manager.check)
+        executor.run_until(600.0)
+        assert manager.shrink_count >= 1
+        assert w0.size < 200.0
+        assert w1.size < 200.0
+        manager.close()
+
+    def test_keeps_estimate_under_budget_eventually(self):
+        graph, drivers, w0, w1, join = join_plan(window=200.0)
+        manager = AdaptiveResourceManager(graph, memory_budget=10_000.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, manager.check)
+        executor.run_until(2000.0)
+        assert manager.total_estimated_memory() <= 10_000.0 * 1.05
+        manager.close()
+
+    def test_grows_back_when_load_drops(self):
+        graph, drivers, w0, w1, join = join_plan(window=100.0)
+        manager = AdaptiveResourceManager(graph, memory_budget=50_000.0)
+        # Force an artificial shrink first.
+        w0.set_size(10.0)
+        w1.set_size(10.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, manager.check)
+        executor.run_until(2000.0)
+        assert manager.grow_count >= 1
+        # Grown back toward (but never beyond) the preferred size.
+        assert 10.0 < w0.size <= 100.0
+        manager.close()
+
+    def test_never_below_min_window(self):
+        graph, drivers, w0, w1, join = join_plan(window=50.0)
+        manager = AdaptiveResourceManager(graph, memory_budget=1.0, min_window=5.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(25.0, manager.check)
+        executor.run_until(1000.0)
+        assert w0.size >= 5.0
+        manager.close()
+
+    def test_events_recorded_with_context(self):
+        graph, drivers, w0, w1, join = join_plan(window=200.0)
+        manager = AdaptiveResourceManager(graph, memory_budget=10_000.0)
+        executor = SimulationExecutor(graph, drivers)
+        executor.every(50.0, manager.check)
+        executor.run_until(500.0)
+        assert manager.events
+        event = manager.events[0]
+        assert event.action in ("shrink", "grow")
+        assert event.budget == 10_000.0
+        assert set(event.window_sizes) == {"w0", "w1"}
+        manager.close()

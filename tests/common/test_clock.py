@@ -1,0 +1,170 @@
+"""Tests for repro.common.clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SystemClock, VirtualClock
+from repro.common.errors import SimulationError
+
+
+class TestVirtualClockBasics:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert VirtualClock(start=42.5).now() == 42.5
+
+    def test_advance_by_moves_time(self):
+        clock = VirtualClock()
+        clock.advance_by(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_moves_time(self):
+        clock = VirtualClock()
+        clock.advance_to(7.0)
+        assert clock.now() == 7.0
+
+    def test_advance_backwards_rejected(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance_by(-1.0)
+
+
+class TestVirtualClockTimers:
+    def test_timer_fires_at_deadline(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule_at(5.0, lambda: fired.append(clock.now()))
+        clock.advance_to(4.999)
+        assert fired == []
+        clock.advance_to(5.0)
+        assert fired == [5.0]
+
+    def test_timers_fire_in_deadline_order(self):
+        clock = VirtualClock()
+        order = []
+        clock.schedule_at(30.0, lambda: order.append("c"))
+        clock.schedule_at(10.0, lambda: order.append("a"))
+        clock.schedule_at(20.0, lambda: order.append("b"))
+        clock.advance_to(100.0)
+        assert order == ["a", "b", "c"]
+
+    def test_equal_deadlines_fire_in_scheduling_order(self):
+        clock = VirtualClock()
+        order = []
+        for tag in ("first", "second", "third"):
+            clock.schedule_at(10.0, lambda t=tag: order.append(t))
+        clock.advance_to(10.0)
+        assert order == ["first", "second", "third"]
+
+    def test_callback_sees_deadline_time(self):
+        clock = VirtualClock()
+        seen = []
+        clock.schedule_at(3.0, lambda: seen.append(clock.now()))
+        clock.advance_to(50.0)
+        assert seen == [3.0]
+
+    def test_cancelled_timer_does_not_fire(self):
+        clock = VirtualClock()
+        fired = []
+        timer = clock.schedule_at(5.0, lambda: fired.append(1))
+        timer.cancel()
+        clock.advance_to(10.0)
+        assert fired == []
+
+    def test_schedule_after(self):
+        clock = VirtualClock(start=100.0)
+        fired = []
+        clock.schedule_after(5.0, lambda: fired.append(clock.now()))
+        clock.advance_by(5.0)
+        assert fired == [105.0]
+
+    def test_schedule_after_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().schedule_after(-1.0, lambda: None)
+
+    def test_past_deadline_clamped_to_now(self):
+        clock = VirtualClock(start=10.0)
+        fired = []
+        clock.schedule_at(3.0, lambda: fired.append(clock.now()))
+        clock.advance_by(0.0)
+        assert fired == [10.0]
+
+    def test_callback_may_schedule_within_same_advance(self):
+        clock = VirtualClock()
+        fired = []
+
+        def chain():
+            fired.append(clock.now())
+            if len(fired) < 3:
+                clock.schedule_after(1.0, chain)
+
+        clock.schedule_at(1.0, chain)
+        clock.advance_to(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_reentrant_advance_rejected(self):
+        clock = VirtualClock()
+        errors = []
+
+        def bad():
+            try:
+                clock.advance_by(1.0)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        clock.schedule_at(1.0, bad)
+        clock.advance_to(2.0)
+        assert len(errors) == 1
+
+    def test_next_deadline_skips_cancelled(self):
+        clock = VirtualClock()
+        t1 = clock.schedule_at(5.0, lambda: None)
+        clock.schedule_at(9.0, lambda: None)
+        t1.cancel()
+        assert clock.next_deadline() == 9.0
+
+    def test_next_deadline_empty(self):
+        assert VirtualClock().next_deadline() is None
+
+    def test_run_until_idle_fires_everything(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule_at(5.0, lambda: fired.append("a"))
+        clock.schedule_at(15.0, lambda: fired.append("b"))
+        clock.run_until_idle()
+        assert fired == ["a", "b"]
+        assert clock.now() == 15.0
+
+    def test_run_until_idle_with_limit(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule_at(5.0, lambda: fired.append("a"))
+        clock.schedule_at(15.0, lambda: fired.append("b"))
+        clock.run_until_idle(limit=10.0)
+        assert fired == ["a"]
+        assert clock.now() == 10.0
+
+    def test_pending_timers_counts_armed_only(self):
+        clock = VirtualClock()
+        t1 = clock.schedule_at(5.0, lambda: None)
+        clock.schedule_at(6.0, lambda: None)
+        assert clock.pending_timers() == 2
+        t1.cancel()
+        assert clock.pending_timers() == 1
+
+
+class TestSystemClock:
+    def test_starts_near_zero(self):
+        assert 0.0 <= SystemClock().now() < 0.5
+
+    def test_monotone(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a

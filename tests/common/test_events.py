@@ -1,0 +1,81 @@
+"""Tests for repro.common.events."""
+
+from __future__ import annotations
+
+from repro.common.events import EventSource
+
+
+class TestEventSource:
+    def test_listener_receives_events(self):
+        source = EventSource("s")
+        received = []
+        source.listen(received.append)
+        source.publish("a")
+        source.publish("b")
+        assert received == ["a", "b"]
+
+    def test_multiple_listeners(self):
+        source = EventSource()
+        first, second = [], []
+        source.listen(first.append)
+        source.listen(second.append)
+        source.publish(1)
+        assert first == [1]
+        assert second == [1]
+
+    def test_cancel_stops_delivery(self):
+        source = EventSource()
+        received = []
+        subscription = source.listen(received.append)
+        source.publish(1)
+        subscription.cancel()
+        source.publish(2)
+        assert received == [1]
+        assert not subscription.active
+
+    def test_cancel_is_idempotent(self):
+        source = EventSource()
+        subscription = source.listen(lambda e: None)
+        subscription.cancel()
+        subscription.cancel()  # no error
+        assert source.listener_count == 0
+
+    def test_listener_added_during_publish_not_called_this_round(self):
+        source = EventSource()
+        received = []
+
+        def adder(event):
+            source.listen(received.append)
+
+        source.listen(adder)
+        source.publish("x")
+        assert received == []
+        source.publish("y")
+        assert received == ["y"]
+
+    def test_listener_cancelled_during_publish_still_called_this_round(self):
+        source = EventSource()
+        received = []
+        sub_holder = {}
+
+        def canceller(event):
+            sub_holder["late"].cancel()
+
+        source.listen(canceller)
+        sub_holder["late"] = source.listen(received.append)
+        source.publish("x")
+        assert received == ["x"]  # snapshot semantics
+        source.publish("y")
+        assert received == ["x"]
+
+    def test_published_count(self):
+        source = EventSource()
+        source.publish(1)
+        source.publish(2)
+        assert source.published_count == 2
+
+    def test_listener_count(self):
+        source = EventSource()
+        assert source.listener_count == 0
+        source.listen(lambda e: None)
+        assert source.listener_count == 1

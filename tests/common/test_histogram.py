@@ -1,0 +1,159 @@
+"""Tests for the equi-width histogram (value-distribution metadata)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.histogram import EquiWidthHistogram, HistogramBuilder
+
+
+class TestConstruction:
+    def test_build_counts_everything(self):
+        histogram = EquiWidthHistogram.build(range(100), buckets=10)
+        assert histogram.total == 100
+        assert histogram.counts == (10,) * 10
+        assert histogram.low == 0
+        assert histogram.high == 99
+
+    def test_empty_build(self):
+        histogram = EquiWidthHistogram.build([], buckets=5)
+        assert histogram.total == 0
+        assert histogram.buckets == 5
+
+    def test_constant_values_collapse_to_one_bucket(self):
+        histogram = EquiWidthHistogram.build([7.0] * 50, buckets=8)
+        assert histogram.total == 50
+        assert histogram.counts[0] == 50
+        assert histogram.bucket_width == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            EquiWidthHistogram(0.0, 1.0, [])
+        with pytest.raises(ValueError):
+            EquiWidthHistogram(1.0, 0.0, [1])
+        with pytest.raises(ValueError):
+            EquiWidthHistogram(0.0, 1.0, [-1])
+        with pytest.raises(ValueError):
+            EquiWidthHistogram.build([1.0], buckets=0)
+
+    def test_max_value_lands_in_last_bucket(self):
+        histogram = EquiWidthHistogram.build([0.0, 10.0], buckets=5)
+        assert histogram.counts[-1] == 1
+
+
+class TestEstimates:
+    def test_mean_close_to_sample_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(50.0, 10.0, 5000)
+        histogram = EquiWidthHistogram.build(values, buckets=40)
+        assert histogram.mean() == pytest.approx(np.mean(values), rel=0.02)
+
+    def test_selectivity_below_uniform(self):
+        histogram = EquiWidthHistogram.build(range(1000), buckets=20)
+        assert histogram.selectivity_below(500) == pytest.approx(0.5, abs=0.02)
+        assert histogram.selectivity_below(-1) == 0.0
+        assert histogram.selectivity_below(2000) == 1.0
+
+    def test_selectivity_between(self):
+        histogram = EquiWidthHistogram.build(range(1000), buckets=20)
+        assert histogram.selectivity_between(250, 750) == pytest.approx(0.5, abs=0.03)
+        with pytest.raises(ValueError):
+            histogram.selectivity_between(10, 5)
+
+    def test_selectivity_below_matches_empirical_on_skew(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(10.0, 8000)
+        histogram = EquiWidthHistogram.build(values, buckets=50)
+        threshold = 10.0
+        empirical = float(np.mean(values < threshold))
+        assert histogram.selectivity_below(threshold) == pytest.approx(
+            empirical, abs=0.05
+        )
+
+    def test_selectivity_equals_uniform_integers(self):
+        histogram = EquiWidthHistogram.build([i % 10 for i in range(1000)],
+                                             buckets=10)
+        assert histogram.selectivity_equals(3) == pytest.approx(0.1, abs=0.05)
+        assert histogram.selectivity_equals(99) == 0.0
+
+    def test_empty_histogram_estimates(self):
+        histogram = EquiWidthHistogram.build([], buckets=4)
+        assert histogram.mean() == 0.0
+        assert histogram.selectivity_below(5.0) == 0.0
+        assert histogram.selectivity_equals(5.0) == 0.0
+
+
+class TestMerge:
+    def test_merge_preserves_total(self):
+        a = EquiWidthHistogram.build(range(100), buckets=10)
+        b = EquiWidthHistogram.build(range(200, 300), buckets=10)
+        merged = a.merge(b)
+        assert merged.total == pytest.approx(200, abs=2)
+        assert merged.low == 0
+        assert merged.high == 299
+
+    def test_merge_with_empty_is_identity(self):
+        a = EquiWidthHistogram.build(range(10), buckets=4)
+        empty = EquiWidthHistogram.build([], buckets=4)
+        assert a.merge(empty) is a
+        assert empty.merge(a) is a
+
+    def test_merge_constant_histograms(self):
+        a = EquiWidthHistogram.build([5.0] * 10, buckets=4)
+        b = EquiWidthHistogram.build([15.0] * 30, buckets=4)
+        merged = a.merge(b)
+        assert merged.total == 40
+        assert merged.selectivity_below(10.0) == pytest.approx(0.25, abs=0.1)
+
+
+class TestBuilder:
+    def test_accumulate_and_reset(self):
+        builder = HistogramBuilder(buckets=4)
+        for value in (1.0, 2.0, 3.0):
+            builder.add(value)
+        assert len(builder) == 3
+        histogram = builder.snapshot_and_reset()
+        assert histogram.total == 3
+        assert len(builder) == 0
+
+    def test_cap_drops_excess(self):
+        builder = HistogramBuilder(buckets=4, max_samples=5)
+        for value in range(10):
+            builder.add(float(value))
+        assert len(builder) == 5
+        assert builder.dropped == 5
+
+    def test_non_finite_ignored(self):
+        builder = HistogramBuilder()
+        builder.add(float("nan"))
+        builder.add(float("inf"))
+        assert len(builder) == 0
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ValueError):
+            HistogramBuilder(max_samples=0)
+
+
+class TestSourceIntegration:
+    def test_source_distribution_is_histogram(self):
+        from repro.graph.element import Schema
+        from repro.graph.graph import QueryGraph
+        from repro.graph.node import Sink, Source
+        from repro.metadata import catalogue as md
+
+        graph = QueryGraph(default_metadata_period=50.0)
+        source = graph.add(Source("s", Schema(("x",))))
+        sink = graph.add(Sink("out"))
+        graph.connect(source, sink)
+        graph.freeze()
+        subscription = source.metadata.subscribe(md.VALUE_DISTRIBUTION)
+        for i in range(100):
+            source.produce({"x": i}, float(i))
+        graph.clock.advance_by(60.0)
+        snapshot = subscription.get()
+        assert snapshot["count"] == 100
+        assert snapshot["histogram"].selectivity_below(50) == pytest.approx(
+            0.5, abs=0.05
+        )
+        subscription.cancel()

@@ -1,0 +1,232 @@
+"""Tests for the reentrant read-write lock."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import LockUpgradeError
+from repro.common.rwlock import LockStats, ReentrantRWLock
+
+
+class TestSingleThread:
+    def test_read_context_manager(self):
+        lock = ReentrantRWLock("t")
+        with lock.read():
+            assert lock.held_by_current_thread() == "read"
+        assert lock.held_by_current_thread() is None
+
+    def test_write_context_manager(self):
+        lock = ReentrantRWLock("t")
+        with lock.write():
+            assert lock.held_by_current_thread() == "write"
+        assert lock.held_by_current_thread() is None
+
+    def test_reentrant_read(self):
+        lock = ReentrantRWLock()
+        with lock.read():
+            with lock.read():
+                assert lock.held_by_current_thread() == "read"
+            assert lock.held_by_current_thread() == "read"
+
+    def test_reentrant_write(self):
+        lock = ReentrantRWLock()
+        with lock.write():
+            with lock.write():
+                assert lock.held_by_current_thread() == "write"
+            assert lock.held_by_current_thread() == "write"
+
+    def test_downgrade_read_inside_write(self):
+        lock = ReentrantRWLock()
+        with lock.write():
+            with lock.read():
+                assert lock.held_by_current_thread() == "write"
+        assert lock.held_by_current_thread() is None
+
+    def test_write_then_release_keeps_inner_read(self):
+        lock = ReentrantRWLock()
+        lock.acquire_write()
+        lock.acquire_read()
+        lock.release_write()
+        assert lock.held_by_current_thread() == "read"
+        lock.release_read()
+        assert lock.held_by_current_thread() is None
+
+    def test_upgrade_rejected(self):
+        lock = ReentrantRWLock("metadata")
+        with lock.read():
+            with pytest.raises(LockUpgradeError):
+                lock.acquire_write()
+        # The read lock must still be released cleanly.
+        assert lock.held_by_current_thread() is None
+
+    def test_release_without_acquire_raises(self):
+        lock = ReentrantRWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_stats_counted(self):
+        lock = ReentrantRWLock()
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+        assert lock.stats.read_acquired == 1
+        assert lock.stats.write_acquired == 1
+        assert lock.stats.read_contended == 0
+        assert lock.stats.write_contended == 0
+
+
+class TestMultiThread:
+    def test_concurrent_readers_allowed(self):
+        lock = ReentrantRWLock()
+        inside = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # all three readers simultaneously inside
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert all(not t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReentrantRWLock()
+        events = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                time.sleep(0.05)
+                events.append("write-done")
+
+        def reader():
+            writer_in.wait(timeout=5.0)
+            with lock.read():
+                events.append("read-done")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join(timeout=5.0)
+        tr.join(timeout=5.0)
+        assert events == ["write-done", "read-done"]
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = ReentrantRWLock()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+        order = []
+
+        def long_reader():
+            with lock.read():
+                reader_in.set()
+                release_reader.wait(timeout=5.0)
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read():
+                order.append("late-reader")
+
+        t1 = threading.Thread(target=long_reader)
+        t1.start()
+        reader_in.wait(timeout=5.0)
+        t2 = threading.Thread(target=writer)
+        t2.start()
+        time.sleep(0.05)  # let the writer start waiting
+        t3 = threading.Thread(target=late_reader)
+        t3.start()
+        time.sleep(0.05)
+        release_reader.set()
+        for t in (t1, t2, t3):
+            t.join(timeout=5.0)
+        assert order[0] == "writer"  # late reader queued behind the writer
+
+    def test_write_mutual_exclusion_counter(self):
+        lock = ReentrantRWLock()
+        counter = {"value": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock.write():
+                    current = counter["value"]
+                    counter["value"] = current + 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert counter["value"] == 800
+
+    def test_acquire_read_timeout(self):
+        lock = ReentrantRWLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        acquired.wait(timeout=5.0)
+        assert lock.acquire_read(timeout=0.05) is False
+        release.set()
+        t.join(timeout=5.0)
+
+    def test_contention_is_counted(self):
+        lock = ReentrantRWLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        acquired.wait(timeout=5.0)
+
+        def reader():
+            with lock.read():
+                pass
+
+        tr = threading.Thread(target=reader)
+        tr.start()
+        time.sleep(0.05)
+        release.set()
+        t.join(timeout=5.0)
+        tr.join(timeout=5.0)
+        assert lock.stats.read_contended >= 1
+
+
+class TestLockStats:
+    def test_addition(self):
+        a = LockStats(read_acquired=1, write_acquired=2, read_contended=3, write_contended=4)
+        b = LockStats(read_acquired=10, write_acquired=20, read_contended=30, write_contended=40)
+        total = a + b
+        assert total.read_acquired == 11
+        assert total.write_acquired == 22
+        assert total.read_contended == 33
+        assert total.write_contended == 44
+
+    def test_snapshot_is_independent(self):
+        a = LockStats(read_acquired=1)
+        snap = a.snapshot()
+        a.read_acquired = 99
+        assert snap.read_acquired == 1

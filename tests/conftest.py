@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+
+class RegistryOwner:
+    """Minimal owner object for stand-alone registry tests.
+
+    Provides the wiring attributes inter-node dependency resolution expects.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.metadata: MetadataRegistry | None = None
+        self.upstream_nodes: list = []
+        self.downstream_nodes: list = []
+        self._modules: dict = {}
+
+    def get_module(self, name: str):
+        return self._modules[name]
+
+    def add_module(self, name: str, module) -> None:
+        self._modules[name] = module
+
+    def __repr__(self) -> str:
+        return f"RegistryOwner({self.name!r})"
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def system(clock: VirtualClock) -> MetadataSystem:
+    return MetadataSystem(clock, VirtualTimeScheduler(clock))
+
+
+@pytest.fixture
+def make_owner(system: MetadataSystem):
+    """Factory creating owners with attached registries."""
+
+    def factory(name: str = "node") -> RegistryOwner:
+        owner = RegistryOwner(name)
+        owner.metadata = MetadataRegistry(owner, system)
+        return owner
+
+    return factory

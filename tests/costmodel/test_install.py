@@ -1,0 +1,91 @@
+"""Tests for post-hoc installation of cost-model metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.install import estimated_vs_measured, install_estimates
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.filter import Filter
+from repro.operators.map import Map
+from repro.operators.union import Union
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, SequentialValues, StreamDriver
+
+
+def plan_with_filter():
+    graph = QueryGraph(default_metadata_period=20.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    fil = graph.add(Filter("f", lambda e: e.field("x") % 2 == 0))
+    mapper = graph.add(Map("m", lambda p: p))
+    union = graph.add(Union("u"))
+    sink = graph.add(Sink("out"))
+    graph.connect(source, fil)
+    graph.connect(fil, mapper)
+    graph.connect(mapper, union)
+    graph.connect(union, sink)
+    graph.freeze()
+    return graph, source, fil, mapper, union, sink
+
+
+class TestInstallEstimates:
+    def test_adds_estimates_to_stateless_operators(self):
+        graph, source, fil, mapper, union, sink = plan_with_filter()
+        added = install_estimates(graph)
+        assert added == 3  # filter, map, union
+        for node in (fil, mapper, union):
+            assert md.EST_OUTPUT_RATE in node.metadata.available_keys()
+
+    def test_idempotent(self):
+        graph, *_ = plan_with_filter()
+        install_estimates(graph)
+        assert install_estimates(graph) == 0
+
+    def test_filter_estimate_uses_selectivity(self):
+        graph, source, fil, mapper, union, sink = plan_with_filter()
+        install_estimates(graph)
+        subscription = union.metadata.subscribe(md.EST_OUTPUT_RATE)
+        executor = SimulationExecutor(
+            graph, [StreamDriver(source, ConstantRate(1.0), SequentialValues())]
+        )
+        executor.run_until(200.0)
+        # Input rate 1.0, filter selectivity 0.5 -> estimate ~0.5 through
+        # the map and union pass-throughs.
+        assert subscription.get() == pytest.approx(0.5, rel=0.3)
+        subscription.cancel()
+
+
+class TestEstimatedVsMeasured:
+    def test_compares_and_reports_error(self):
+        graph, source, fil, mapper, union, sink = plan_with_filter()
+        install_estimates(graph)
+        # Keep both items included during the run so they carry warm values
+        # when compared (a cold post-run subscription would read zeros).
+        est = fil.metadata.subscribe(md.EST_OUTPUT_RATE)
+        meas = fil.metadata.subscribe(md.OUTPUT_RATE)
+        executor = SimulationExecutor(
+            graph, [StreamDriver(source, ConstantRate(1.0), SequentialValues())]
+        )
+        executor.run_until(200.0)
+        report = estimated_vs_measured(fil, md.EST_OUTPUT_RATE, md.OUTPUT_RATE)
+        assert set(report) == {"estimated", "measured", "relative_error"}
+        assert report["estimated"] > 0
+        assert report["measured"] == pytest.approx(0.5, rel=0.2)
+        assert report["relative_error"] < 0.5
+        est.cancel()
+        meas.cancel()
+
+    def test_temporary_subscriptions_cleaned_up(self):
+        graph, source, fil, mapper, union, sink = plan_with_filter()
+        install_estimates(graph)
+        estimated_vs_measured(fil, md.EST_OUTPUT_RATE, md.OUTPUT_RATE)
+        assert fil.metadata.included_keys() == []
+
+    def test_zero_measured_zero_estimated(self):
+        graph, source, fil, mapper, union, sink = plan_with_filter()
+        install_estimates(graph)
+        report = estimated_vs_measured(fil, md.EST_OUTPUT_RATE, md.OUTPUT_RATE)
+        assert report["relative_error"] == 0.0

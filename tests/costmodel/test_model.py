@@ -1,0 +1,67 @@
+"""Tests for the analytical cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CostModelError
+from repro.costmodel import model
+
+
+class TestWindowEstimates:
+    def test_validity_equals_window_size(self):
+        assert model.window_validity(100.0) == 100.0
+
+    def test_state_elements(self):
+        assert model.window_state_elements(rate=0.5, validity=100.0) == 50.0
+
+    def test_memory(self):
+        assert model.window_memory(0.5, 100.0, element_size=16) == 800.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(CostModelError):
+            model.window_validity(-1.0)
+        with pytest.raises(CostModelError):
+            model.window_memory(-0.1, 10.0, 8)
+
+
+class TestJoinEstimates:
+    def test_probe_rate_symmetric_case(self):
+        # r=0.1 each, v=100 each, list areas: 0.1*10 + 0.1*10 = 2.
+        assert model.join_probe_rate(0.1, 0.1, 100.0, 100.0) == pytest.approx(2.0)
+
+    def test_probe_rate_hash_fraction(self):
+        full = model.join_probe_rate(0.1, 0.1, 100.0, 100.0)
+        hashed = model.join_probe_rate(0.1, 0.1, 100.0, 100.0, f0=0.1, f1=0.1)
+        assert hashed == pytest.approx(full * 0.1)
+
+    def test_cpu_usage_includes_base_cost(self):
+        cpu = model.join_cpu_usage(0.1, 0.1, 100.0, 100.0,
+                                   predicate_cost=1.0, base_cost=1.0)
+        assert cpu == pytest.approx(2.0 + 0.2)
+
+    def test_cpu_scales_linearly_with_window(self):
+        small = model.join_cpu_usage(0.1, 0.1, 50.0, 50.0, 1.0, base_cost=0.0)
+        large = model.join_cpu_usage(0.1, 0.1, 100.0, 100.0, 1.0, base_cost=0.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_memory(self):
+        mem = model.join_memory(0.1, 0.2, 100.0, 50.0, size0=10, size1=20)
+        assert mem == pytest.approx(0.1 * 100 * 10 + 0.2 * 50 * 20)
+
+    def test_output_rate(self):
+        rate = model.join_output_rate(0.1, 0.1, 100.0, 100.0, selectivity=0.5)
+        assert rate == pytest.approx(1.0)
+
+    def test_zero_rate_zero_everything(self):
+        assert model.join_cpu_usage(0.0, 0.0, 100.0, 100.0, 1.0) == 0.0
+        assert model.join_memory(0.0, 0.0, 10.0, 10.0, 8, 8) == 0.0
+
+
+class TestOtherEstimates:
+    def test_filter_output_rate(self):
+        assert model.filter_output_rate(2.0, 0.25) == 0.5
+
+    def test_queue_growth_rate(self):
+        assert model.queue_growth_rate(2.0, 0.5) == 1.5
+        assert model.queue_growth_rate(0.5, 2.0) == 0.0

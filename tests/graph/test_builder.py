@@ -1,0 +1,160 @@
+"""Tests for the fluent query builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.builder import QueryBuilder
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.metadata import catalogue as md
+from repro.operators.filter import Filter
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, StreamDriver, UniformValues
+
+
+class TestStaticConstruction:
+    def test_linear_chain(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        sink = (qb.source("s", Schema(("x",)))
+                  .filter(lambda e: e.field("x") > 0)
+                  .map(lambda p: {"x": p["x"] * 2})
+                  .sink("out"))
+        qb.apply()
+        graph.freeze()
+        names = [node.name for node in graph.topological_order()]
+        assert names[0] == "s"
+        assert names[-1] == "out"
+        assert sink is graph.node("out")
+
+    def test_join_of_two_chains(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        left = qb.source("l", Schema(("k",))).window(100.0)
+        right = qb.source("r", Schema(("k",))).window(100.0)
+        left.join(right, key=lambda e: e.field("k")).sink("out")
+        qb.apply()
+        graph.freeze()
+        joins = [n for n in graph.nodes() if isinstance(n, SlidingWindowJoin)]
+        assert len(joins) == 1
+        assert joins[0].impl == "hash"  # inferred from the key
+        assert [n.name for n in joins[0].upstream_nodes][0].startswith("q_window")
+
+    def test_union(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        a = qb.source("a", Schema(("x",)))
+        b = qb.source("b", Schema(("x",)))
+        c = qb.source("c", Schema(("x",)))
+        a.union(b, c).sink("out")
+        qb.apply()
+        graph.freeze()
+        union = next(n for n in graph.nodes() if n.name.startswith("q_union"))
+        assert len(union.upstream_nodes) == 3
+
+    def test_auto_names_are_unique(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        stage = qb.source("s", Schema(("x",)))
+        stage = stage.filter(lambda e: True).filter(lambda e: True)
+        stage.sink()
+        qb.apply()
+        names = [node.name for node in graph.nodes()]
+        assert len(names) == len(set(names))
+
+    def test_explicit_names_respected(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        qb.source("s", Schema(("x",))).filter(lambda e: True, name="only_pos") \
+          .sink("results")
+        qb.apply()
+        assert isinstance(graph.node("only_pos"), Filter)
+
+    def test_apply_twice_rejected(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        qb.source("s", Schema(("x",))).sink("out")
+        qb.apply()
+        with pytest.raises(GraphError):
+            qb.apply()
+
+    def test_cross_builder_join_rejected(self):
+        graph = QueryGraph()
+        qb1, qb2 = QueryBuilder(graph), QueryBuilder(graph, prefix="p")
+        left = qb1.source("l", Schema(("k",))).window(10.0)
+        right = qb2.source("r", Schema(("k",))).window(10.0)
+        with pytest.raises(GraphError):
+            left.join(right)
+
+    def test_all_operator_kinds(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        (qb.source("s", Schema(("k", "x")))
+           .distinct(lambda e: e.field("k"), horizon=50.0)
+           .project(["x"])
+           .window(100.0)
+           .count_window(5)
+           .aggregate("x", "sum")
+           .sink("out"))
+        qb.apply()
+        graph.freeze()
+        assert len(graph.nodes()) == 7
+
+    def test_built_plan_runs(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        results = []
+        source_stage = qb.source("s", Schema(("x",)))
+        source_stage.filter(lambda e: e.field("x") % 2 == 0) \
+                    .sink("out", callback=lambda e: results.append(e.field("x")))
+        qb.apply()
+        source = graph.node("s")
+        executor = SimulationExecutor(graph, [
+            StreamDriver(source, ConstantRate(1.0), UniformValues("x", 0, 100),
+                         seed=3),
+        ])
+        executor.run_until(100.0)
+        assert results
+        assert all(x % 2 == 0 for x in results)
+
+
+class TestRuntimeInstallation:
+    def test_apply_on_frozen_graph_installs(self):
+        graph = QueryGraph()
+        qb0 = QueryBuilder(graph, prefix="base")
+        shared_stage = qb0.source("s", Schema(("x",)))
+        shared_stage.sink("q1")
+        qb0.apply()
+        graph.freeze()
+
+        # Build a second query at runtime, tapping the live source.
+        qb1 = QueryBuilder(graph, prefix="rt")
+        qb1.from_node(graph.node("s")).filter(lambda e: True).sink("q2")
+        installed = qb1.apply()
+        assert {n.name for n in installed} >= {"q2"}
+        assert graph.node("q2").metadata is not None
+
+    def test_from_node_of_sink_rejected(self):
+        graph = QueryGraph()
+        qb = QueryBuilder(graph)
+        sink = qb.source("s", Schema(("x",))).sink("out")
+        with pytest.raises(GraphError):
+            qb.from_node(sink)
+
+    def test_installed_query_metadata_live(self):
+        graph = QueryGraph(default_metadata_period=25.0)
+        qb0 = QueryBuilder(graph)
+        qb0.source("s", Schema(("x",))).sink("q1")
+        qb0.apply()
+        graph.freeze()
+        qb1 = QueryBuilder(graph, prefix="rt")
+        qb1.from_node(graph.node("s")) \
+           .filter(lambda e: e.field("x") < 50, name="half") \
+           .sink("q2")
+        qb1.apply()
+        with graph.node("half").metadata.subscribe(md.SELECTIVITY) as sub:
+            assert sub.get() == 0.0

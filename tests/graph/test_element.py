@@ -1,0 +1,73 @@
+"""Tests for stream elements and schemas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.graph.element import Schema, StreamElement
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = Schema(("a", "b"), element_size=32)
+        assert len(schema) == 2
+        assert schema.element_size == 32
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a",), element_size=0)
+
+    def test_concat_disambiguates_and_sums_sizes(self):
+        left = Schema(("k", "x"), element_size=10)
+        right = Schema(("k", "y"), element_size=20)
+        joined = left.concat(right)
+        assert joined.fields == ("k", "x", "k_r", "y")
+        assert joined.element_size == 30
+
+    def test_project_keeps_order_and_scales_size(self):
+        schema = Schema(("a", "b", "c", "d"), element_size=40)
+        projected = schema.project(["c", "a"])
+        assert projected.fields == ("c", "a")
+        assert projected.element_size == 20
+
+    def test_project_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a",)).project(["z"])
+
+
+class TestStreamElement:
+    def test_defaults_to_infinite_validity(self):
+        element = StreamElement({"x": 1}, timestamp=5.0)
+        assert math.isinf(element.expiry)
+        assert math.isinf(element.validity)
+        assert not element.is_expired(1e12)
+
+    def test_with_expiry(self):
+        element = StreamElement({"x": 1}, timestamp=5.0)
+        windowed = element.with_expiry(15.0)
+        assert windowed.validity == 10.0
+        assert windowed.payload is element.payload
+        assert math.isinf(element.expiry)  # original untouched
+
+    def test_is_expired_boundary(self):
+        element = StreamElement({}, timestamp=0.0, expiry=10.0)
+        assert not element.is_expired(9.999)
+        assert element.is_expired(10.0)
+
+    def test_field_access(self):
+        element = StreamElement({"x": 1}, 0.0)
+        assert element.field("x") == 1
+        with pytest.raises(SchemaError):
+            element.field("missing")
+
+    def test_field_on_non_mapping_raises(self):
+        element = StreamElement(42, 0.0)
+        with pytest.raises(SchemaError):
+            element.field("x")

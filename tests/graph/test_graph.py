@@ -1,0 +1,173 @@
+"""Tests for query-graph construction and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SystemClock, VirtualClock
+from repro.common.errors import GraphError, WiringError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.filter import Filter
+from repro.operators.union import Union
+
+
+def simple_graph():
+    graph = QueryGraph()
+    source = graph.add(Source("s", Schema(("x",))))
+    fil = graph.add(Filter("f", lambda e: True))
+    sink = graph.add(Sink("out"))
+    graph.connect(source, fil)
+    graph.connect(fil, sink)
+    return graph, source, fil, sink
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        graph = QueryGraph()
+        graph.add(Source("s", Schema(("x",))))
+        with pytest.raises(GraphError):
+            graph.add(Source("s", Schema(("y",))))
+
+    def test_node_cannot_join_two_graphs(self):
+        g1, g2 = QueryGraph(), QueryGraph()
+        source = g1.add(Source("s", Schema(("x",))))
+        with pytest.raises(GraphError):
+            g2.add(source)
+
+    def test_connect_unknown_node_rejected(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        stranger = Sink("stranger")
+        with pytest.raises(WiringError):
+            graph.connect(source, stranger)
+
+    def test_connect_into_source_rejected(self):
+        graph = QueryGraph()
+        s1 = graph.add(Source("s1", Schema(("x",))))
+        s2 = graph.add(Source("s2", Schema(("x",))))
+        with pytest.raises(WiringError):
+            graph.connect(s1, s2)
+
+    def test_connect_out_of_sink_rejected(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        sink = graph.add(Sink("k"))
+        graph.connect(source, sink)
+        fil = graph.add(Filter("f", lambda e: True))
+        with pytest.raises(WiringError):
+            graph.connect(sink, fil)
+
+    def test_arity_enforced_on_connect(self):
+        graph = QueryGraph()
+        s1 = graph.add(Source("s1", Schema(("x",))))
+        s2 = graph.add(Source("s2", Schema(("x",))))
+        fil = graph.add(Filter("f", lambda e: True))
+        graph.connect(s1, fil)
+        with pytest.raises(WiringError):
+            graph.connect(s2, fil)
+
+    def test_nonvirtual_clock_requires_scheduler(self):
+        with pytest.raises(GraphError):
+            QueryGraph(clock=SystemClock())
+
+
+class TestFreeze:
+    def test_freeze_attaches_registries(self):
+        graph, source, fil, sink = simple_graph()
+        assert source.metadata is None
+        graph.freeze()
+        assert source.metadata is not None
+        assert fil.metadata is not None
+        assert sink.metadata is not None
+
+    def test_freeze_twice_rejected(self):
+        graph, *_ = simple_graph()
+        graph.freeze()
+        with pytest.raises(GraphError):
+            graph.freeze()
+
+    def test_add_after_freeze_rejected(self):
+        graph, *_ = simple_graph()
+        graph.freeze()
+        with pytest.raises(GraphError):
+            graph.add(Source("late", Schema(("x",))))
+
+    def test_connect_after_freeze_rejected(self):
+        graph, source, fil, sink = simple_graph()
+        graph.freeze()
+        with pytest.raises(GraphError):
+            graph.connect(source, fil)
+
+    def test_missing_input_rejected(self):
+        graph = QueryGraph()
+        graph.add(Source("s", Schema(("x",))))
+        fil = graph.add(Filter("f", lambda e: True))
+        sink = graph.add(Sink("out"))
+        graph.connect(fil, sink)  # filter has no input
+        with pytest.raises(WiringError):
+            graph.freeze()
+
+    def test_dangling_operator_rejected(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        fil = graph.add(Filter("f", lambda e: True))
+        graph.connect(source, fil)  # filter has no consumer
+        with pytest.raises(WiringError):
+            graph.freeze()
+
+    def test_variadic_needs_at_least_one_input(self):
+        graph = QueryGraph()
+        union = graph.add(Union("u"))
+        sink = graph.add(Sink("out"))
+        graph.connect(union, sink)
+        with pytest.raises(WiringError):
+            graph.freeze()
+
+    def test_subscribe_before_freeze_rejected(self):
+        from repro.metadata import catalogue as md
+
+        graph, source, *_ = simple_graph()
+        with pytest.raises(GraphError):
+            graph.subscribe(source, md.OUTPUT_RATE)
+
+
+class TestTopology:
+    def test_topological_order(self):
+        graph, source, fil, sink = simple_graph()
+        order = [node.name for node in graph.topological_order()]
+        assert order == ["s", "f", "out"]
+
+    def test_subquery_sharing_fanout(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        fil = graph.add(Filter("f", lambda e: True))
+        sink1 = graph.add(Sink("q1"))
+        sink2 = graph.add(Sink("q2"))
+        graph.connect(source, fil)
+        graph.connect(fil, sink1)
+        graph.connect(fil, sink2)
+        graph.freeze()
+        assert len(fil.output_queues) == 2
+        assert set(n.name for n in fil.downstream_nodes) == {"q1", "q2"}
+
+    def test_accessors(self):
+        graph, source, fil, sink = simple_graph()
+        assert graph.sources() == [source]
+        assert graph.operators() == [fil]
+        assert graph.sinks() == [sink]
+        assert graph.node("f") is fil
+        with pytest.raises(GraphError):
+            graph.node("ghost")
+        assert len(graph.queues()) == 2
+
+    def test_total_pending_elements(self):
+        graph, source, fil, sink = simple_graph()
+        graph.freeze()
+        source.produce({"x": 1}, 0.0)
+        assert graph.total_pending_elements() == 1
+        fil.step()
+        assert graph.total_pending_elements() == 1  # moved to sink queue
+        sink.step()
+        assert graph.total_pending_elements() == 0

@@ -1,0 +1,87 @@
+"""Tests for inter-operator queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import QueueClosedError
+from repro.graph.element import StreamElement
+from repro.graph.queues import StreamQueue
+
+
+class _Node:
+    def __init__(self, name):
+        self.name = name
+
+
+def make_queue(capacity=None):
+    return StreamQueue(_Node("p"), _Node("c"), port=0, capacity=capacity)
+
+
+def element(i):
+    return StreamElement({"i": i}, float(i))
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        queue = make_queue()
+        for i in range(5):
+            queue.push(element(i))
+        popped = [queue.pop().field("i") for _ in range(5)]
+        assert popped == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_returns_none(self):
+        assert make_queue().pop() is None
+
+    def test_peek_does_not_remove(self):
+        queue = make_queue()
+        queue.push(element(1))
+        assert queue.peek().field("i") == 1
+        assert len(queue) == 1
+
+    def test_len_and_bool(self):
+        queue = make_queue()
+        assert not queue
+        queue.push(element(1))
+        assert queue
+        assert len(queue) == 1
+
+
+class TestAccounting:
+    def test_enqueue_dequeue_counts(self):
+        queue = make_queue()
+        queue.push(element(1))
+        queue.push(element(2))
+        queue.pop()
+        assert queue.enqueued == 2
+        assert queue.dequeued == 1
+
+    def test_peak_length(self):
+        queue = make_queue()
+        for i in range(3):
+            queue.push(element(i))
+        queue.pop()
+        queue.push(element(9))
+        assert queue.peak_length == 3
+
+
+class TestCapacity:
+    def test_drop_at_capacity(self):
+        queue = make_queue(capacity=2)
+        assert queue.push(element(1))
+        assert queue.push(element(2))
+        assert not queue.push(element(3))
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_queue(capacity=0)
+
+
+class TestClose:
+    def test_push_after_close_raises(self):
+        queue = make_queue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.push(element(1))

@@ -1,0 +1,107 @@
+"""End-to-end adaptivity: all Section 1 consumers cooperating on one plan.
+
+The paper's vision is a system where scheduler, resource manager, load
+shedder and monitors all feed off the same shared metadata.  This test wires
+them together on a join plan under a load surge and checks that
+
+* the consumers share handlers instead of duplicating maintenance,
+* each consumer reacts to the surge through its own metadata view, and
+* tearing everything down leaves zero handlers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.load_shedder import LoadShedder, Shedder
+from repro.adaptation.profiler import MetadataProfiler
+from repro.adaptation.qos_monitor import QoSMonitor
+from repro.adaptation.resource_manager import AdaptiveResourceManager
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ArrivalProcess, StreamDriver, UniformValues
+
+
+class SurgeRate(ArrivalProcess):
+    """0.2/u normally; 1.2/u during the surge window [1000, 3000)."""
+
+    def next_gap(self, now, rng):
+        return 1.0 / (1.2 if 1000.0 <= now < 3000.0 else 0.2)
+
+    def mean_rate(self):
+        return 0.4
+
+
+@pytest.fixture
+def adaptive_system():
+    graph = QueryGraph(default_metadata_period=50.0)
+    s0 = graph.add(Source("s0", Schema(("k",), element_size=64)))
+    s1 = graph.add(Source("s1", Schema(("k",), element_size=64)))
+    shed0 = graph.add(Shedder("shed0", seed=1))
+    shed1 = graph.add(Shedder("shed1", seed=2))
+    w0 = graph.add(TimeWindow("w0", 150.0))
+    w1 = graph.add(TimeWindow("w1", 150.0))
+    join = graph.add(SlidingWindowJoin("join", impl="hash",
+                                       key_fn=lambda e: e.field("k")))
+    sink = graph.add(Sink("out", qos={"max_latency": 50.0}))
+    for a, b in ((s0, shed0), (s1, shed1), (shed0, w0), (shed1, w1),
+                 (w0, join), (w1, join), (join, sink)):
+        graph.connect(a, b)
+    graph.freeze()
+
+    manager = AdaptiveResourceManager(graph, memory_budget=15_000.0)
+    shedder = LoadShedder([shed0, shed1], [join], cpu_bound=3.0, step=0.1)
+    monitor = QoSMonitor(graph)
+    profiler = MetadataProfiler()
+    profiler.watch(join, md.EST_MEMORY_USAGE, label="est_mem")
+    profiler.watch(join, md.CPU_USAGE, label="cpu")
+
+    drivers = [
+        StreamDriver(s0, SurgeRate(), UniformValues("k", 0, 12), seed=3),
+        StreamDriver(s1, SurgeRate(), UniformValues("k", 0, 12), seed=4),
+    ]
+    executor = SimulationExecutor(graph, drivers, service_capacity=40.0)
+    executor.every(100.0, manager.check)
+    executor.every(100.0, shedder.check)
+    executor.every(100.0, monitor.check)
+    executor.every(100.0, profiler.sample)
+    consumers = (manager, shedder, monitor, profiler)
+    return graph, executor, join, consumers
+
+
+class TestCooperatingConsumers:
+    def test_consumers_share_handlers(self, adaptive_system):
+        graph, executor, join, consumers = adaptive_system
+        # Resource manager and profiler both use est-memory: one handler.
+        handler = join.metadata.handler(md.EST_MEMORY_USAGE)
+        assert handler.consumer_count == 2
+
+    def test_surge_triggers_every_adaptation(self, adaptive_system):
+        graph, executor, join, consumers = adaptive_system
+        manager, shedder, monitor, profiler = consumers
+        executor.run_until(5000.0)
+
+        # The resource manager shrank the windows during the surge.
+        assert manager.shrink_count >= 1
+        # The load shedder raised the drop probability at some point.
+        assert any(d.drop_probability > 0 for d in shedder.decisions)
+        # The profiler recorded the whole story.
+        assert len(profiler.series["est_mem"]) == 50
+        surge_mem = max(profiler.series["est_mem"].numeric_values())
+        calm_mem = profiler.series["est_mem"].numeric_values()[0]
+        assert surge_mem > calm_mem
+
+    def test_teardown_leaves_nothing(self, adaptive_system):
+        graph, executor, join, consumers = adaptive_system
+        manager, shedder, monitor, profiler = consumers
+        executor.run_until(1500.0)
+        manager.close()
+        shedder.close()
+        monitor.close()
+        profiler.close()
+        assert graph.metadata_system.included_handler_count == 0

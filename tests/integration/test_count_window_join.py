@@ -1,0 +1,75 @@
+"""Count-based windows feeding a join: retroactive expiry must propagate.
+
+A :class:`CountWindow` stamps an element's expiry only when it is displaced
+by the N-th later element; the join's sweep areas hold the *same* element
+objects, so the stamp must make old state invisible to later probes.
+"""
+
+from __future__ import annotations
+
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import CountWindow
+
+
+def build(count=2):
+    graph = QueryGraph()
+    s0 = graph.add(Source("s0", Schema(("k",))))
+    s1 = graph.add(Source("s1", Schema(("k",))))
+    w0 = graph.add(CountWindow("w0", count))
+    w1 = graph.add(CountWindow("w1", count))
+    join = graph.add(SlidingWindowJoin("join", key_fn=lambda e: e.field("k")))
+    results = []
+    sink = graph.add(Sink("out", callback=lambda e: results.append(e.payload)))
+    for a, b in ((s0, w0), (s1, w1), (w0, join), (w1, join), (join, sink)):
+        graph.connect(a, b)
+    graph.freeze()
+    return graph, s0, s1, join, results
+
+
+def drain(graph):
+    nodes = graph.operators() + graph.sinks()
+    while any(node.step() for node in nodes):
+        pass
+
+
+class TestCountWindowJoin:
+    def test_live_elements_join(self):
+        graph, s0, s1, join, results = build(count=2)
+        s0.produce({"k": 1}, 0.0)
+        drain(graph)
+        s1.produce({"k": 1}, 1.0)
+        drain(graph)
+        assert len(results) == 1
+
+    def test_displaced_element_no_longer_matches(self):
+        graph, s0, s1, join, results = build(count=2)
+        s0.produce({"k": 1}, 0.0)   # will be displaced
+        s0.produce({"k": 2}, 1.0)
+        s0.produce({"k": 3}, 2.0)   # displaces k=1 (expiry stamped at t=2)
+        drain(graph)
+        s1.produce({"k": 1}, 3.0)   # probes: k=1 left the count window
+        drain(graph)
+        assert results == []
+
+    def test_last_n_still_match(self):
+        graph, s0, s1, join, results = build(count=2)
+        for i, key in enumerate((1, 2, 3)):
+            s0.produce({"k": key}, float(i))
+        drain(graph)
+        s1.produce({"k": 3}, 5.0)
+        drain(graph)
+        assert len(results) == 1
+        assert results[0]["k"] == 3
+
+    def test_join_state_shrinks_with_displacement(self):
+        graph, s0, s1, join, results = build(count=3)
+        for i in range(10):
+            s0.produce({"k": i}, float(i))
+            drain(graph)
+        # Sweep 0 evicts lazily on the next probe/insert; force one probe.
+        s1.produce({"k": 99}, 20.0)
+        drain(graph)
+        assert len(join.sweeps[0]) <= 3

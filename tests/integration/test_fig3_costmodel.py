@@ -1,0 +1,121 @@
+"""Integration test for the Figure 3 scenario.
+
+A monitoring tool subscribes to the *estimated CPU usage* of a time-based
+sliding window join.  The subscription must transitively include the whole
+dependency cascade of Figure 3 — window sizes, element validities, stream
+rates, predicate cost, sweep-area module metadata — and the estimate must
+track the measured CPU usage as the workload runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.sweeparea import PROBE_FRACTION
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, StreamDriver, UniformValues
+
+
+def fig3_plan(impl="nested-loops"):
+    graph = QueryGraph(default_metadata_period=50.0)
+    s0 = graph.add(Source("s0", Schema(("k",), element_size=32)))
+    s1 = graph.add(Source("s1", Schema(("k",), element_size=32)))
+    w0 = graph.add(TimeWindow("w0", 100.0))
+    w1 = graph.add(TimeWindow("w1", 100.0))
+    join = graph.add(SlidingWindowJoin(
+        "join", impl=impl, key_fn=lambda e: e.field("k"), predicate_cost=1.0,
+    ))
+    sink = graph.add(Sink("out"))
+    for a, b in ((s0, w0), (s1, w1), (w0, join), (w1, join), (join, sink)):
+        graph.connect(a, b)
+    graph.freeze()
+    drivers = [
+        StreamDriver(s0, ConstantRate(0.2), UniformValues("k", 0, 8), seed=11),
+        StreamDriver(s1, ConstantRate(0.2), UniformValues("k", 0, 8), seed=22),
+    ]
+    return graph, drivers, join
+
+
+class TestFigure3Cascade:
+    def test_single_subscription_includes_whole_cascade(self):
+        graph, drivers, join = fig3_plan()
+        system = graph.metadata_system
+        assert system.included_handler_count == 0
+        subscription = join.metadata.subscribe(md.EST_CPU_USAGE)
+        # One consumer subscription materialised the full Figure 3 cascade.
+        assert system.included_handler_count >= 10
+        for name in ("w0", "w1"):
+            window = graph.node(name)
+            assert window.metadata.is_included(md.EST_ELEMENT_VALIDITY)
+            assert window.metadata.is_included(md.WINDOW_SIZE)
+            assert window.metadata.is_included(md.EST_OUTPUT_RATE)
+        for name in ("s0", "s1"):
+            source = graph.node(name)
+            assert source.metadata.is_included(md.EST_OUTPUT_RATE)
+            assert source.metadata.is_included(md.OUTPUT_RATE)
+        assert join.metadata.is_included(md.PREDICATE_COST)
+        for sweep in join.sweeps:
+            assert sweep.metadata.is_included(PROBE_FRACTION)
+        subscription.cancel()
+        assert system.included_handler_count == 0
+
+    def test_unused_items_have_no_handler(self):
+        """'An item without a handler indicates that this item is available
+        but unused, e.g., the estimated output rate of the join.'"""
+        graph, drivers, join = fig3_plan()
+        subscription = join.metadata.subscribe(md.EST_CPU_USAGE)
+        assert md.EST_OUTPUT_RATE in join.metadata.available_keys()
+        assert not join.metadata.is_included(md.EST_OUTPUT_RATE)
+        subscription.cancel()
+
+    @pytest.mark.parametrize("impl", ["nested-loops", "hash"])
+    def test_estimate_tracks_measured_cpu(self, impl):
+        graph, drivers, join = fig3_plan(impl)
+        estimated = join.metadata.subscribe(md.EST_CPU_USAGE)
+        measured = join.metadata.subscribe(md.CPU_USAGE)
+        executor = SimulationExecutor(graph, drivers)
+        executor.run_until(3000.0)
+        est, meas = estimated.get(), measured.get()
+        assert meas > 0
+        # The estimate should land within a factor of ~2 of the measurement.
+        assert est == pytest.approx(meas, rel=1.0)
+        estimated.cancel()
+        measured.cancel()
+
+    def test_hash_estimate_below_nested_loops(self):
+        """Exchangeable modules matter: the hash join's probe fraction pulls
+        its CPU estimate (and measurement) below the nested-loops variant."""
+        results = {}
+        for impl in ("nested-loops", "hash"):
+            graph, drivers, join = fig3_plan(impl)
+            estimated = join.metadata.subscribe(md.EST_CPU_USAGE)
+            measured = join.metadata.subscribe(md.CPU_USAGE)
+            executor = SimulationExecutor(graph, drivers)
+            executor.run_until(2000.0)
+            results[impl] = (estimated.get(), measured.get())
+        assert results["hash"][0] < results["nested-loops"][0]
+        assert results["hash"][1] < results["nested-loops"][1]
+
+    def test_measured_memory_equals_sweep_state(self):
+        graph, drivers, join = fig3_plan()
+        memory = join.metadata.subscribe(md.MEMORY_USAGE)
+        executor = SimulationExecutor(graph, drivers)
+        executor.run_until(1000.0)
+        expected = sum(len(sweep) for sweep in join.sweeps) * 32
+        assert memory.get() == expected
+        memory.cancel()
+
+    def test_estimated_memory_matches_cost_model(self):
+        graph, drivers, join = fig3_plan()
+        est_memory = join.metadata.subscribe(md.EST_MEMORY_USAGE)
+        executor = SimulationExecutor(graph, drivers)
+        executor.run_until(2000.0)
+        # 2 inputs x rate 0.2 x validity 100 x 32 bytes = 1280.
+        assert est_memory.get() == pytest.approx(1280.0, rel=0.15)
+        est_memory.cancel()

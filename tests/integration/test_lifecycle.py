@@ -1,0 +1,110 @@
+"""Lifecycle integration tests: subscription churn across a shared plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.install import install_estimates
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.filter import Filter
+from repro.operators.join import SlidingWindowJoin
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, StreamDriver, UniformValues
+
+
+def shared_plan():
+    """Two queries sharing a filtered source (subquery sharing)."""
+    graph = QueryGraph(default_metadata_period=25.0)
+    s0 = graph.add(Source("s0", Schema(("k",))))
+    s1 = graph.add(Source("s1", Schema(("k",))))
+    shared = graph.add(Filter("shared", lambda e: e.field("k") < 6))
+    w0 = graph.add(TimeWindow("w0", 80.0))
+    w1 = graph.add(TimeWindow("w1", 80.0))
+    join = graph.add(SlidingWindowJoin("join", key_fn=lambda e: e.field("k")))
+    q1 = graph.add(Sink("q1"))
+    q2 = graph.add(Sink("q2"))
+    graph.connect(s0, shared)
+    graph.connect(shared, w0)      # query 1 via the join
+    graph.connect(s1, w1)
+    graph.connect(w0, join)
+    graph.connect(w1, join)
+    graph.connect(join, q1)
+    graph.connect(shared, q2)      # query 2 reads the shared filter directly
+    graph.freeze()
+    # The window's estimated output rate recurses through the filter, which
+    # gains its estimate item from the cost-model installer.
+    install_estimates(graph)
+    return graph
+
+
+class TestSubscriptionChurn:
+    def test_repeated_subscribe_unsubscribe_is_stable(self):
+        graph = shared_plan()
+        join = graph.node("join")
+        system = graph.metadata_system
+        for _ in range(25):
+            subscription = join.metadata.subscribe(md.EST_CPU_USAGE)
+            subscription.get()
+            subscription.cancel()
+        assert system.included_handler_count == 0
+        assert system.handlers_created == system.handlers_removed
+
+    def test_overlapping_consumers_share_cascade(self):
+        graph = shared_plan()
+        join = graph.node("join")
+        system = graph.metadata_system
+        cpu = join.metadata.subscribe(md.EST_CPU_USAGE)
+        count_with_one = system.included_handler_count
+        memory = join.metadata.subscribe(md.EST_MEMORY_USAGE)
+        count_with_two = system.included_handler_count
+        # The second subscription shares most of the cascade: it adds far
+        # fewer handlers than the first did.
+        assert count_with_two - count_with_one < count_with_one
+        memory.cancel()
+        assert system.included_handler_count == count_with_one
+        cpu.cancel()
+        assert system.included_handler_count == 0
+
+    def test_subscribe_all_then_cancel_everything(self):
+        graph = shared_plan()
+        install_estimates(graph)
+        system = graph.metadata_system
+        subscriptions = system.subscribe_all()
+        assert system.included_handler_count > 0
+        for subscription in subscriptions:
+            subscription.cancel()
+        assert system.included_handler_count == 0
+        # Periodic tasks all unregistered too.
+        assert system.scheduler.active_task_count() == 0
+
+    def test_churn_while_stream_runs(self):
+        graph = shared_plan()
+        join = graph.node("join")
+        drivers = [
+            StreamDriver(graph.node("s0"), ConstantRate(0.5),
+                         UniformValues("k", 0, 10), seed=1),
+            StreamDriver(graph.node("s1"), ConstantRate(0.5),
+                         UniformValues("k", 0, 10), seed=2),
+        ]
+        executor = SimulationExecutor(graph, drivers)
+        values = []
+
+        def churn(now):
+            subscription = join.metadata.subscribe(md.EST_CPU_USAGE)
+            values.append(subscription.get())
+            subscription.cancel()
+
+        executor.every(100.0, churn)
+        executor.run_until(1000.0)
+        assert len(values) == 10
+        assert graph.metadata_system.included_handler_count == 0
+
+    def test_sharing_reflected_in_reuse_frequency(self):
+        graph = shared_plan()
+        q2 = graph.node("q2")
+        with q2.metadata.subscribe(md.REUSE_FREQUENCY) as subscription:
+            assert subscription.get() == 2  # 'shared' feeds w0 and q2

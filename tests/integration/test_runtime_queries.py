@@ -1,0 +1,223 @@
+"""Runtime query installation and uninstallation.
+
+Section 1 motivates the dynamic provision of metadata with exactly this:
+"the set of metadata items required in a SSPS at runtime ... is likely to
+vary over time, e.g., when new queries are installed."  These tests install
+and remove whole queries on a live graph and check that metadata registries,
+handlers and subplan sharing behave.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GraphError, WiringError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.filter import Filter
+from repro.operators.window import TimeWindow
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, SequentialValues, StreamDriver
+
+
+def base_graph():
+    graph = QueryGraph(default_metadata_period=25.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    shared = graph.add(Filter("shared", lambda e: e.field("x") % 2 == 0))
+    sink = graph.add(Sink("q1"))
+    graph.connect(source, shared)
+    graph.connect(shared, sink)
+    graph.freeze()
+    return graph, source, shared, sink
+
+
+class TestInstall:
+    def test_install_query_sharing_existing_subplan(self):
+        graph, source, shared, sink1 = base_graph()
+        fil2 = Filter("only_small", lambda e: e.field("x") < 10)
+        sink2 = Sink("q2")
+        installed = graph.install_query(
+            [fil2, sink2], [(shared, fil2), (fil2, sink2)]
+        )
+        assert [n.name for n in installed] == ["only_small", "q2"]
+        assert fil2.metadata is not None  # registry attached
+        assert shared.downstream_nodes == [sink1, fil2]
+
+    def test_installed_query_processes_elements(self):
+        graph, source, shared, sink1 = base_graph()
+        executor = SimulationExecutor(
+            graph, [StreamDriver(source, ConstantRate(0.5), SequentialValues())]
+        )
+        executor.run_until(100.0)
+        received_before = sink1.received
+
+        fil2 = Filter("only_small", lambda e: e.field("x") < 1000)
+        sink2 = Sink("q2")
+        graph.install_query([fil2, sink2], [(shared, fil2), (fil2, sink2)])
+        executor.rebuild_schedule()
+        executor.run_until(300.0)
+        assert sink1.received > received_before  # old query still runs
+        assert sink2.received > 0                # new query gets data
+
+    def test_installed_node_metadata_is_subscribable(self):
+        graph, source, shared, sink1 = base_graph()
+        fil2 = Filter("f2", lambda e: True)
+        sink2 = Sink("q2")
+        graph.install_query([fil2, sink2], [(shared, fil2), (fil2, sink2)])
+        with fil2.metadata.subscribe(md.SELECTIVITY) as subscription:
+            assert subscription.get() == 0.0
+
+    def test_add_outside_update_window_rejected(self):
+        graph, *_ = base_graph()
+        with pytest.raises(GraphError):
+            graph.add(Sink("late"))
+
+    def test_existing_node_cannot_gain_inputs(self):
+        graph, source, shared, sink1 = base_graph()
+        source2 = Source("s2", Schema(("x",)))
+        graph.begin_update()
+        graph.add(source2)
+        with pytest.raises(WiringError):
+            graph.connect(source2, shared)
+        graph._updating = False  # abandon the broken update
+
+    def test_commit_validates_pending_nodes(self):
+        graph, source, shared, sink1 = base_graph()
+        graph.begin_update()
+        graph.add(Filter("dangling", lambda e: True))
+        with pytest.raises(WiringError):
+            graph.commit_update()
+
+    def test_nested_begin_update_rejected(self):
+        graph, *_ = base_graph()
+        graph.begin_update()
+        with pytest.raises(GraphError):
+            graph.begin_update()
+
+    def test_install_query_rolls_back_updating_flag_on_error(self):
+        graph, source, shared, sink1 = base_graph()
+        with pytest.raises(WiringError):
+            graph.install_query([Filter("dangling", lambda e: True)], [])
+        # A follow-up valid installation still works.
+        fil2, sink2 = Filter("ok", lambda e: True), Sink("q2")
+        graph.install_query([fil2, sink2], [(shared, fil2), (fil2, sink2)])
+
+
+class TestUninstall:
+    def test_uninstall_removes_exclusive_subplan(self):
+        graph, source, shared, sink1 = base_graph()
+        removed = graph.uninstall_query(sink1)
+        # Everything was exclusive to q1: sink, filter and source go.
+        assert {n.name for n in removed} == {"q1", "shared", "s"}
+        assert graph.nodes() == []
+
+    def test_uninstall_keeps_shared_subplan(self):
+        graph, source, shared, sink1 = base_graph()
+        fil2, sink2 = Filter("f2", lambda e: True), Sink("q2")
+        graph.install_query([fil2, sink2], [(shared, fil2), (fil2, sink2)])
+        removed = graph.uninstall_query(sink2)
+        assert {n.name for n in removed} == {"q2", "f2"}
+        # The shared prefix survives and q1 still works.
+        assert graph.node("shared") is shared
+        assert shared.downstream_nodes == [sink1]
+        source.produce({"x": 2}, 0.0)
+        shared.step()
+        sink1.step()
+        assert sink1.received == 1
+
+    def test_uninstall_blocked_by_included_metadata(self):
+        graph, source, shared, sink1 = base_graph()
+        subscription = shared.metadata.subscribe(md.SELECTIVITY)
+        with pytest.raises(GraphError):
+            graph.uninstall_query(sink1)
+        subscription.cancel()
+        graph.uninstall_query(sink1)
+
+    def test_uninstall_unknown_sink_rejected(self):
+        graph, *_ = base_graph()
+        with pytest.raises(GraphError):
+            graph.uninstall_query(Sink("ghost"))
+
+    def test_uninstall_non_sink_rejected(self):
+        graph, source, shared, sink1 = base_graph()
+        with pytest.raises(GraphError):
+            graph.uninstall_query(shared)
+
+    def test_registries_forgotten_after_uninstall(self):
+        graph, source, shared, sink1 = base_graph()
+        registries_before = len(graph.metadata_system.registries())
+        graph.uninstall_query(sink1)
+        assert len(graph.metadata_system.registries()) == registries_before - 3
+        # subscribe_all touches nothing stale.
+        assert graph.metadata_system.subscribe_all() == []
+
+    def test_driver_of_uninstalled_source_stops(self):
+        graph, source, shared, sink1 = base_graph()
+        executor = SimulationExecutor(
+            graph, [StreamDriver(source, ConstantRate(0.5), SequentialValues())]
+        )
+        executor.run_until(50.0)
+        produced_at_uninstall = source.produced
+        graph.uninstall_query(sink1)
+        executor.rebuild_schedule()
+        executor.run_until(300.0)
+        assert source.produced == produced_at_uninstall
+
+    def test_node_reusable_after_uninstall(self):
+        graph, source, shared, sink1 = base_graph()
+        graph.uninstall_query(sink1)
+        # _added_to was cleared; the sink can join a new graph.
+        other = QueryGraph()
+        src = other.add(Source("s", Schema(("x",))))
+        other.add(sink1)
+        other.connect(src, sink1)
+        other.freeze()
+
+
+class TestUninstallWithModules:
+    def test_join_query_uninstall_drops_module_registries(self):
+        from repro.operators.join import SlidingWindowJoin
+        from repro.operators.window import TimeWindow
+
+        graph = QueryGraph(default_metadata_period=25.0)
+        s0 = graph.add(Source("s0", Schema(("k",))))
+        s1 = graph.add(Source("s1", Schema(("k",))))
+        w0 = graph.add(TimeWindow("w0", 50.0))
+        w1 = graph.add(TimeWindow("w1", 50.0))
+        join = graph.add(SlidingWindowJoin("join", impl="hash",
+                                           key_fn=lambda e: e.field("k")))
+        sink = graph.add(Sink("q"))
+        for a, b in ((s0, w0), (s1, w1), (w0, join), (w1, join), (join, sink)):
+            graph.connect(a, b)
+        graph.freeze()
+        registries_before = len(graph.metadata_system.registries())
+        removed = graph.uninstall_query(sink)
+        assert {n.name for n in removed} == {"q", "join", "w0", "w1", "s0", "s1"}
+        # 6 node registries + 2 sweep registries + 2 nested bucket-index
+        # registries are gone.
+        assert len(graph.metadata_system.registries()) == registries_before - 10
+
+
+class TestInstallRollback:
+    def test_failed_install_leaves_no_trace(self):
+        graph, source, shared, sink1 = base_graph()
+        shared_consumers_before = list(shared.downstream_nodes)
+        nodes_before = {n.name for n in graph.nodes()}
+        queues_before = len(graph.queues())
+
+        fil = Filter("partial", lambda e: True)
+        dangling = Filter("dangling", lambda e: True)  # no sink: commit fails
+        with pytest.raises(WiringError):
+            graph.install_query(
+                [fil, dangling],
+                [(shared, fil), (fil, dangling)],
+            )
+        assert {n.name for n in graph.nodes()} == nodes_before
+        assert shared.downstream_nodes == shared_consumers_before
+        assert len(graph.queues()) == queues_before
+        # Rolled-back nodes are reusable in a later (valid) installation.
+        sink2 = Sink("q2")
+        graph.install_query([fil, sink2], [(shared, fil), (fil, sink2)])
+        assert graph.node("partial") is fil

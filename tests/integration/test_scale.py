@@ -1,0 +1,79 @@
+"""Moderate-scale sanity checks: many queries, many consumers.
+
+The paper's setting is "thousands of continuous queries"; CI budgets keep
+these at hundreds, which already exposes quadratic bookkeeping if any creeps
+in.  Wall-time bounds are generous — the point is algorithmic shape, not raw
+speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.filter import Filter
+from repro.runtime.simulation import SimulationExecutor
+from repro.sources.synthetic import ConstantRate, SequentialValues, StreamDriver
+
+N_QUERIES = 200
+
+
+def big_graph():
+    graph = QueryGraph(default_metadata_period=100.0)
+    drivers = []
+    for i in range(N_QUERIES):
+        source = graph.add(Source(f"s{i}", Schema(("x",))))
+        fil = graph.add(Filter(f"f{i}", lambda e: e.field("x") % 2 == 0))
+        sink = graph.add(Sink(f"q{i}"))
+        graph.connect(source, fil)
+        graph.connect(fil, sink)
+        drivers.append(StreamDriver(source, ConstantRate(0.1),
+                                    SequentialValues(), seed=i))
+    graph.freeze()
+    return graph, drivers
+
+
+class TestScale:
+    def test_hundreds_of_queries_run(self):
+        graph, drivers = big_graph()
+        executor = SimulationExecutor(graph, drivers)
+        started = time.perf_counter()
+        executor.run_until(500.0)
+        elapsed = time.perf_counter() - started
+        assert sum(sink.received for sink in graph.sinks()) == N_QUERIES * 25
+        assert elapsed < 30.0
+
+    def test_mass_subscription_lifecycle(self):
+        graph, drivers = big_graph()
+        system = graph.metadata_system
+        started = time.perf_counter()
+        subscriptions = []
+        for operator in graph.operators():
+            subscriptions.append(operator.metadata.subscribe(md.AVG_SELECTIVITY))
+            subscriptions.append(operator.metadata.subscribe(md.AVG_INPUT_RATE.q(0)))
+        include_time = time.perf_counter() - started
+        # 2 consumer subs/operator -> avg + selectivity + avg_rate + rate.
+        assert system.included_handler_count == N_QUERIES * 4
+        for subscription in subscriptions:
+            subscription.cancel()
+        assert system.included_handler_count == 0
+        assert include_time < 10.0
+
+    def test_periodic_load_stays_proportional(self):
+        """Only subscribed queries pay maintenance: subscribing 10 of 200
+        queries' rates must schedule exactly 10 periodic tasks."""
+        graph, drivers = big_graph()
+        subscriptions = [
+            graph.node(f"f{i}").metadata.subscribe(md.INPUT_RATE.q(0))
+            for i in range(10)
+        ]
+        assert graph.metadata_system.scheduler.active_task_count() == 10
+        executor = SimulationExecutor(graph, drivers)
+        executor.run_until(1000.0)
+        for subscription in subscriptions:
+            assert subscription.handler.update_count >= 10
+            subscription.cancel()
+        assert graph.metadata_system.scheduler.active_task_count() == 0

@@ -1,0 +1,40 @@
+"""Tests for the standard metadata catalogue (Figure 2's taxonomy)."""
+
+from __future__ import annotations
+
+from repro.metadata import catalogue as md
+from repro.metadata.item import MetadataKey
+
+
+def all_catalogue_keys() -> dict[str, MetadataKey]:
+    return {
+        name: value for name, value in vars(md).items()
+        if isinstance(value, MetadataKey)
+    }
+
+
+class TestCatalogue:
+    def test_all_exports_resolve(self):
+        for name in md.__all__:
+            assert isinstance(getattr(md, name), MetadataKey), name
+
+    def test_keys_are_unique(self):
+        keys = list(all_catalogue_keys().values())
+        assert len({k.name for k in keys}) == len(keys)
+
+    def test_namespaces_cover_graph_levels(self):
+        """The paper's taxonomy: source (stream.*), operator (operator.*,
+        window.*, estimate.*) and query-level (query.*) items all exist."""
+        namespaces = {key.name.split(".")[0]
+                      for key in all_catalogue_keys().values()}
+        assert {"stream", "operator", "window", "estimate", "query"} <= namespaces
+
+    def test_qualified_variants_share_base(self):
+        left = md.INPUT_RATE.q(0)
+        right = md.INPUT_RATE.q(1)
+        assert left != right
+        assert left.base == right.base == md.INPUT_RATE
+
+    def test_catalogue_keys_are_unqualified(self):
+        for name, key in all_catalogue_keys().items():
+            assert key.qualifier == (), name

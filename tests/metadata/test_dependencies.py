@@ -1,0 +1,286 @@
+"""Tests for dependency resolution and automated inclusion (Sections 2.3-2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DependencyCycleError, MetadataError
+from repro.metadata.item import (
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    ModuleDep,
+    NodeDep,
+    SelfDep,
+    UpstreamDep,
+    DownstreamDep,
+)
+
+A, B, C, D = (MetadataKey(k) for k in "abcd")
+
+
+def define_static(registry, key, value=0):
+    registry.define(MetadataDefinition(key, Mechanism.STATIC, value=value))
+
+
+def define_dep(registry, key, deps, compute=None):
+    if compute is None:
+        compute = lambda ctx: sum(  # noqa: E731
+            h.get() for _, h in ctx._dep_handlers
+        )
+    registry.define(MetadataDefinition(
+        key, Mechanism.TRIGGERED, compute=compute, dependencies=deps,
+    ))
+
+
+class TestAutomaticInclusion:
+    def test_chain_included_transitively(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, C, 5)
+        define_dep(owner.metadata, B, [SelfDep(C)])
+        define_dep(owner.metadata, A, [SelfDep(B)])
+        subscription = owner.metadata.subscribe(A)
+        assert set(owner.metadata.included_keys()) == {A, B, C}
+        assert subscription.get() == 5
+        subscription.cancel()
+        assert owner.metadata.included_keys() == []
+
+    def test_diamond_counts_shared_dependency(self, make_owner):
+        """A→B→D and A→C→D: D must survive until both paths are excluded."""
+        owner = make_owner()
+        define_static(owner.metadata, D, 1)
+        define_dep(owner.metadata, B, [SelfDep(D)])
+        define_dep(owner.metadata, C, [SelfDep(D)])
+        define_dep(owner.metadata, A, [SelfDep(B), SelfDep(C)])
+        subscription = owner.metadata.subscribe(A)
+        d_handler = owner.metadata.handler(D)
+        assert d_handler.include_count == 2  # one per incoming path
+        subscription.cancel()
+        assert owner.metadata.included_keys() == []
+
+    def test_traversal_stops_at_provided_items(self, make_owner):
+        """Stop-at-provided: an existing handler is reused, not rebuilt."""
+        owner = make_owner()
+        define_static(owner.metadata, C, 1)
+        define_dep(owner.metadata, B, [SelfDep(C)])
+        define_dep(owner.metadata, A, [SelfDep(B)])
+        sb = owner.metadata.subscribe(B)
+        handler_b = sb.handler
+        handler_c = owner.metadata.handler(C)
+        sa = owner.metadata.subscribe(A)
+        assert owner.metadata.handler(B) is handler_b
+        assert owner.metadata.handler(C) is handler_c
+        # C's counter did NOT move: the traversal stopped at B.
+        assert handler_b.include_count == 2
+        assert handler_c.include_count == 1
+        sa.cancel()
+        assert owner.metadata.is_included(B)
+        assert owner.metadata.is_included(C)
+        sb.cancel()
+        assert owner.metadata.included_keys() == []
+
+    def test_partial_exclusion_keeps_shared_subtree(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, C, 3)
+        define_dep(owner.metadata, A, [SelfDep(C)])
+        define_dep(owner.metadata, B, [SelfDep(C)])
+        sa = owner.metadata.subscribe(A)
+        sb = owner.metadata.subscribe(B)
+        sa.cancel()
+        assert owner.metadata.is_included(C)
+        assert sb.get() == 3
+        sb.cancel()
+        assert not owner.metadata.is_included(C)
+
+
+class TestCycles:
+    def test_self_cycle_detected(self, make_owner):
+        owner = make_owner()
+        define_dep(owner.metadata, A, [SelfDep(A)], compute=lambda ctx: 1)
+        with pytest.raises(DependencyCycleError):
+            owner.metadata.subscribe(A)
+        assert owner.metadata.included_keys() == []
+
+    def test_two_node_cycle_detected(self, make_owner):
+        owner = make_owner()
+        define_dep(owner.metadata, A, [SelfDep(B)], compute=lambda ctx: 1)
+        define_dep(owner.metadata, B, [SelfDep(A)], compute=lambda ctx: 1)
+        with pytest.raises(DependencyCycleError):
+            owner.metadata.subscribe(A)
+        assert owner.metadata.included_keys() == []
+
+    def test_cross_node_cycle_detected(self, make_owner):
+        left, right = make_owner("left"), make_owner("right")
+        define_dep(left.metadata, A, [NodeDep(right, B)], compute=lambda ctx: 1)
+        define_dep(right.metadata, B, [NodeDep(left, A)], compute=lambda ctx: 1)
+        with pytest.raises(DependencyCycleError):
+            left.metadata.subscribe(A)
+        assert left.metadata.included_keys() == []
+        assert right.metadata.included_keys() == []
+
+
+class TestInterNodeDependencies:
+    def test_node_dep(self, make_owner):
+        upstream, downstream = make_owner("up"), make_owner("down")
+        define_static(upstream.metadata, B, 7)
+        define_dep(downstream.metadata, A, [NodeDep(upstream, B)])
+        subscription = downstream.metadata.subscribe(A)
+        assert subscription.get() == 7
+        assert upstream.metadata.is_included(B)
+        subscription.cancel()
+        assert not upstream.metadata.is_included(B)
+
+    def test_upstream_dep_specific_port(self, make_owner):
+        up0, up1, node = make_owner("up0"), make_owner("up1"), make_owner("n")
+        node.upstream_nodes = [up0, up1]
+        define_static(up0.metadata, B, 10)
+        define_static(up1.metadata, B, 20)
+        define_dep(node.metadata, A, [UpstreamDep(B, port=1)])
+        subscription = node.metadata.subscribe(A)
+        assert subscription.get() == 20
+        assert not up0.metadata.is_included(B)
+        subscription.cancel()
+
+    def test_upstream_dep_all_ports(self, make_owner):
+        up0, up1, node = make_owner("up0"), make_owner("up1"), make_owner("n")
+        node.upstream_nodes = [up0, up1]
+        define_static(up0.metadata, B, 10)
+        define_static(up1.metadata, B, 20)
+        define_dep(node.metadata, A, [UpstreamDep(B)],
+                   compute=lambda ctx: ctx.values(B))
+        subscription = node.metadata.subscribe(A)
+        assert subscription.get() == [10, 20]
+        subscription.cancel()
+
+    def test_downstream_dep(self, make_owner):
+        node, sink = make_owner("n"), make_owner("sink")
+        node.downstream_nodes = [sink]
+        define_static(sink.metadata, B, {"max_latency": 100})
+        define_dep(node.metadata, A, [DownstreamDep(B, port=0)],
+                   compute=lambda ctx: ctx.value(B))
+        subscription = node.metadata.subscribe(A)
+        assert subscription.get() == {"max_latency": 100}
+        subscription.cancel()
+
+    def test_missing_port_raises(self, make_owner):
+        node = make_owner("n")  # no upstream nodes
+        define_dep(node.metadata, A, [UpstreamDep(B, port=0)])
+        with pytest.raises(MetadataError):
+            node.metadata.subscribe(A)
+
+    def test_owner_without_wiring_raises(self, make_owner, system):
+        from repro.metadata.registry import MetadataRegistry
+
+        class Bare:
+            name = "bare"
+
+        bare = Bare()
+        bare.metadata = MetadataRegistry(bare, system)
+        define_dep(bare.metadata, A, [UpstreamDep(B)])
+        with pytest.raises(MetadataError):
+            bare.metadata.subscribe(A)
+
+
+class TestModuleDependencies:
+    def test_module_dep_resolves_into_module_registry(self, make_owner, system):
+        from repro.metadata.registry import MetadataRegistry
+
+        owner = make_owner("op")
+
+        class Module:
+            name = "inner"
+
+        module = Module()
+        module.metadata = MetadataRegistry(module, system)
+        define_static(module.metadata, B, 64)
+        owner.add_module("inner", module)
+        define_dep(owner.metadata, A, [ModuleDep("inner", B)])
+        subscription = owner.metadata.subscribe(A)
+        assert subscription.get() == 64
+        assert module.metadata.is_included(B)
+        subscription.cancel()
+        assert not module.metadata.is_included(B)
+
+    def test_nested_module_path(self, make_owner, system):
+        from repro.metadata.registry import MetadataRegistry
+
+        owner = make_owner("op")
+
+        class Module:
+            def __init__(self, name):
+                self.name = name
+                self._modules = {}
+
+            def get_module(self, name):
+                return self._modules[name]
+
+        outer, inner = Module("outer"), Module("inner")
+        outer._modules["inner"] = inner
+        inner.metadata = MetadataRegistry(inner, system)
+        define_static(inner.metadata, B, "deep")
+        owner.add_module("outer", outer)
+        define_dep(owner.metadata, A, [ModuleDep("outer.inner", B)],
+                   compute=lambda ctx: ctx.value(B))
+        subscription = owner.metadata.subscribe(A)
+        assert subscription.get() == "deep"
+        subscription.cancel()
+
+    def test_missing_module_raises(self, make_owner):
+        owner = make_owner("op")
+        define_dep(owner.metadata, A, [ModuleDep("ghost", B)])
+        with pytest.raises(Exception):
+            owner.metadata.subscribe(A)
+
+
+class TestDynamicDependencies:
+    def test_resolver_prefers_already_included_alternative(self, make_owner):
+        """Section 4.4.3: A computable from B or C; if C is already included
+        the dependency is redefined to point at C, avoiding B's inclusion."""
+        owner = make_owner()
+        define_static(owner.metadata, B, "from-b")
+        define_static(owner.metadata, C, "from-c")
+
+        def resolver(registry):
+            if registry.is_included(C):
+                return [SelfDep(C)]
+            return [SelfDep(B)]
+
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.TRIGGERED,
+            compute=lambda ctx: ctx._dep_handlers[0][1].get(),
+            dependencies=resolver,
+        ))
+
+        # Case 1: nothing included -> falls back to B.
+        s = owner.metadata.subscribe(A)
+        assert s.get() == "from-b"
+        assert owner.metadata.is_included(B)
+        assert not owner.metadata.is_included(C)
+        s.cancel()
+
+        # Case 2: C included by someone else -> A binds to C, B stays out.
+        sc = owner.metadata.subscribe(C)
+        s = owner.metadata.subscribe(A)
+        assert s.get() == "from-c"
+        assert not owner.metadata.is_included(B)
+        s.cancel()
+        sc.cancel()
+
+    def test_resolver_called_per_inclusion(self, make_owner):
+        owner = make_owner()
+        calls = []
+        define_static(owner.metadata, B, 1)
+
+        def resolver(registry):
+            calls.append(1)
+            return [SelfDep(B)]
+
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(B),
+            dependencies=resolver,
+        ))
+        s1 = owner.metadata.subscribe(A)
+        s1.cancel()
+        s2 = owner.metadata.subscribe(A)
+        s2.cancel()
+        assert len(calls) == 2

@@ -1,0 +1,107 @@
+"""Failure-injection tests: broken metadata providers must stay contained."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import HandlerError
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+
+A, B, C = MetadataKey("a"), MetadataKey("b"), MetadataKey("c")
+
+
+class FlakyCompute:
+    """Compute function failing on selected invocations."""
+
+    def __init__(self, fail_on=()):
+        self.calls = 0
+        self.fail_on = set(fail_on)
+
+    def __call__(self, ctx):
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise RuntimeError(f"sensor glitch on call {self.calls}")
+        return self.calls
+
+
+class TestPeriodicFailures:
+    def test_failing_refresh_does_not_stop_the_clock(self, make_owner, clock):
+        owner = make_owner()
+        flaky = FlakyCompute(fail_on={3})
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0, compute=flaky,
+        ))
+        subscription = owner.metadata.subscribe(A)
+        clock.advance_by(50.0)  # refreshes at 10..50; call 3 (t=20) fails
+        # The scheduler swallowed the failure and kept the cadence.
+        assert flaky.calls == 6
+        task = subscription.handler._task
+        assert task.error_count == 1
+        # The handler still serves the last good value and recovers after.
+        assert subscription.get() == 6
+        subscription.cancel()
+
+    def test_error_in_one_task_does_not_affect_others(self, make_owner, clock):
+        owner = make_owner()
+        bad = FlakyCompute(fail_on=set(range(2, 100)))
+        good = FlakyCompute()
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0, compute=bad,
+        ))
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.PERIODIC, period=10.0, compute=good,
+        ))
+        sa = owner.metadata.subscribe(A)
+        sb = owner.metadata.subscribe(B)
+        clock.advance_by(100.0)
+        assert good.calls == 11  # seed + 10 refreshes, untouched by A's woes
+        assert sb.get() == 11
+        sa.cancel()
+        sb.cancel()
+
+
+class TestWaveFailures:
+    def test_failing_dependent_does_not_poison_siblings(self, make_owner, clock):
+        """A triggered handler that raises during a wave leaves the other
+        dependents refreshed (best effort within the wave)."""
+        owner = make_owner()
+        values = iter([1, 2])
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0, compute=lambda ctx: next(values),
+        ))
+
+        def bad_compute(ctx):
+            value = ctx.value(A)
+            if value > 1:
+                raise RuntimeError("cannot digest the new value")
+            return value
+
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, compute=bad_compute, dependencies=[SelfDep(A)],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            C, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(A) * 10,
+            dependencies=[SelfDep(A)],
+        ))
+        sb = owner.metadata.subscribe(B)
+        sc = owner.metadata.subscribe(C)
+        clock.advance_by(10.0)  # A: 1 -> 2; B's recompute raises inside wave
+        # The wave surfaced nothing fatal to the clock; C is up to date and
+        # B kept its last good value.
+        assert sc.get() == 20
+        assert sb.get() == 1
+        sb.cancel()
+        sc.cancel()
+
+    def test_on_demand_failure_is_surfaced_to_the_accessor(self, make_owner):
+        owner = make_owner()
+        flaky = FlakyCompute(fail_on={2})
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=flaky,
+        ))
+        subscription = owner.metadata.subscribe(A)
+        assert subscription.get() == 1
+        with pytest.raises(HandlerError):
+            subscription.get()
+        assert subscription.get() == 3  # recovers on the next access
+        subscription.cancel()

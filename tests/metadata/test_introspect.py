@@ -1,0 +1,119 @@
+"""Tests for metadata discovery / introspection tooling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.metadata.introspect import (
+    describe_registry,
+    describe_system,
+    render_report,
+    to_json,
+)
+from repro.operators.filter import Filter
+
+
+def build():
+    graph = QueryGraph(default_metadata_period=25.0)
+    source = graph.add(Source("s", Schema(("x",))))
+    fil = graph.add(Filter("f", lambda e: True))
+    sink = graph.add(Sink("out"))
+    graph.connect(source, fil)
+    graph.connect(fil, sink)
+    graph.freeze()
+    return graph, source, fil, sink
+
+
+class TestDescribe:
+    def test_registry_snapshot_lists_all_items(self):
+        graph, source, fil, sink = build()
+        snapshot = describe_registry(fil.metadata)
+        assert snapshot["owner"] == "f"
+        assert snapshot["defined"] == len(fil.metadata.available_keys())
+        assert snapshot["included"] == 0
+        keys = {item["key"] for item in snapshot["items"]}
+        assert "operator.selectivity" in keys
+        assert "stream.input_rate" in keys
+
+    def test_included_items_carry_handler_stats(self):
+        graph, source, fil, sink = build()
+        subscription = fil.metadata.subscribe(md.SELECTIVITY)
+        graph.clock.advance_by(60.0)
+        snapshot = describe_registry(fil.metadata)
+        item = next(i for i in snapshot["items"]
+                    if i["key"] == "operator.selectivity")
+        assert item["included"] is True
+        assert item["include_count"] == 1
+        assert item["consumer_count"] == 1
+        assert item["update_count"] >= 2
+        assert item["age"] is not None
+        assert item["period"] == 25.0
+        subscription.cancel()
+
+    def test_qualified_keys_reported(self):
+        graph, source, fil, sink = build()
+        snapshot = describe_registry(fil.metadata)
+        qualified = [i for i in snapshot["items"] if i["qualifier"]]
+        assert any(i["key"] == "stream.input_rate" and i["qualifier"] == [0]
+                   for i in qualified)
+
+    def test_system_snapshot_covers_all_registries(self):
+        graph, *_ = build()
+        snapshot = describe_system(graph.metadata_system)
+        owners = {r["owner"] for r in snapshot["registries"]}
+        assert {"s", "f", "out"} <= owners
+        assert snapshot["stats"]["handlers_included"] == 0
+
+
+class TestRendering:
+    def test_report_readable(self):
+        graph, source, fil, sink = build()
+        subscription = fil.metadata.subscribe(md.SELECTIVITY)
+        report = render_report(graph.metadata_system)
+        assert "operator.selectivity" in report
+        assert "* operator.selectivity" in report  # included marker
+        subscription.cancel()
+
+    def test_included_only_filters(self):
+        graph, source, fil, sink = build()
+        subscription = fil.metadata.subscribe(md.SELECTIVITY)
+        report = render_report(graph.metadata_system, included_only=True)
+        assert "operator.selectivity" in report
+        assert "stream.output_rate" not in report  # not included anywhere
+        subscription.cancel()
+
+    def test_json_roundtrips(self):
+        graph, source, fil, sink = build()
+        subscription = source.metadata.subscribe(md.SCHEMA)
+        parsed = json.loads(to_json(graph.metadata_system))
+        assert parsed["stats"]["handlers_included"] == 1
+        assert any(r["owner"] == "s" for r in parsed["registries"])
+        subscription.cancel()
+
+
+class TestModuleIntrospection:
+    def test_report_covers_sweep_modules(self):
+        from repro.operators.join import SlidingWindowJoin
+        from repro.operators.window import TimeWindow
+
+        graph = QueryGraph()
+        s0 = graph.add(Source("s0", Schema(("k",))))
+        s1 = graph.add(Source("s1", Schema(("k",))))
+        w0, w1 = graph.add(TimeWindow("w0", 50.0)), graph.add(TimeWindow("w1", 50.0))
+        join = graph.add(SlidingWindowJoin("join", impl="hash",
+                                           key_fn=lambda e: e.field("k")))
+        sink = graph.add(Sink("out"))
+        for a, b in ((s0, w0), (s1, w1), (w0, join), (w1, join), (join, sink)):
+            graph.connect(a, b)
+        graph.freeze()
+        snapshot = describe_system(graph.metadata_system)
+        owners = {r["owner"] for r in snapshot["registries"]}
+        # Sweep areas and the nested bucket indexes have registries too.
+        assert {"sweep0", "sweep1", "index"} <= owners
+        report = render_report(graph.metadata_system)
+        assert "module.probe_fraction" in report
+        assert "module.max_bucket_size" in report

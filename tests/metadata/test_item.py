@@ -1,0 +1,91 @@
+"""Tests for metadata keys and definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import MetadataError
+from repro.metadata.item import (
+    Mechanism,
+    MetadataClass,
+    MetadataDefinition,
+    MetadataKey,
+    SelfDep,
+)
+
+
+class TestMetadataKey:
+    def test_equality_and_hash(self):
+        assert MetadataKey("a.b") == MetadataKey("a.b")
+        assert hash(MetadataKey("a.b")) == hash(MetadataKey("a.b"))
+        assert MetadataKey("a.b") != MetadataKey("a.c")
+
+    def test_qualifier_distinguishes(self):
+        base = MetadataKey("stream.input_rate")
+        assert base.q(0) != base.q(1)
+        assert base.q(0) != base
+        assert base.q(0) == MetadataKey("stream.input_rate", (0,))
+
+    def test_base_strips_qualifier(self):
+        key = MetadataKey("x").q(1, 2)
+        assert key.base == MetadataKey("x")
+        assert MetadataKey("x").base == MetadataKey("x")
+
+    def test_ordering_is_total(self):
+        keys = [MetadataKey("b"), MetadataKey("a").q(1), MetadataKey("a")]
+        ordered = sorted(keys)
+        assert ordered[0] == MetadataKey("a")
+        assert ordered[-1] == MetadataKey("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataKey("")
+
+    def test_repr_readable(self):
+        assert repr(MetadataKey("a.b")) == "<a.b>"
+        assert "0" in repr(MetadataKey("a").q(0))
+
+    def test_usable_as_dict_key(self):
+        d = {MetadataKey("a"): 1, MetadataKey("a").q(0): 2}
+        assert d[MetadataKey("a")] == 1
+        assert d[MetadataKey("a").q(0)] == 2
+
+
+class TestMetadataDefinition:
+    def test_static_needs_value_or_compute(self):
+        with pytest.raises(MetadataError):
+            MetadataDefinition(MetadataKey("k"), Mechanism.STATIC)
+
+    def test_static_with_value_ok(self):
+        definition = MetadataDefinition(MetadataKey("k"), Mechanism.STATIC, value=5)
+        assert definition.metadata_class is MetadataClass.STATIC
+
+    def test_dynamic_needs_compute(self):
+        with pytest.raises(MetadataError):
+            MetadataDefinition(MetadataKey("k"), Mechanism.ON_DEMAND)
+
+    def test_periodic_needs_positive_period(self):
+        with pytest.raises(MetadataError):
+            MetadataDefinition(MetadataKey("k"), Mechanism.PERIODIC,
+                               compute=lambda ctx: 1)
+        with pytest.raises(MetadataError):
+            MetadataDefinition(MetadataKey("k"), Mechanism.PERIODIC,
+                               compute=lambda ctx: 1, period=0)
+
+    def test_dynamic_class_derived(self):
+        definition = MetadataDefinition(
+            MetadataKey("k"), Mechanism.TRIGGERED, compute=lambda ctx: 1
+        )
+        assert definition.metadata_class is MetadataClass.DYNAMIC
+
+    def test_dynamic_dependencies_flag(self):
+        static = MetadataDefinition(
+            MetadataKey("k"), Mechanism.TRIGGERED, compute=lambda ctx: 1,
+            dependencies=[SelfDep(MetadataKey("d"))],
+        )
+        assert not static.dynamic_dependencies
+        dynamic = MetadataDefinition(
+            MetadataKey("k"), Mechanism.TRIGGERED, compute=lambda ctx: 1,
+            dependencies=lambda registry: [SelfDep(MetadataKey("d"))],
+        )
+        assert dynamic.dynamic_dependencies

@@ -1,0 +1,107 @@
+"""Tests for the lock policies (Sections 4.2-4.3)."""
+
+from __future__ import annotations
+
+from repro.common.clock import VirtualClock
+from repro.common.rwlock import ReentrantRWLock
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey
+from repro.metadata.locks import (
+    CoarseLockPolicy,
+    FineGrainedLockPolicy,
+    NoOpLock,
+    NoOpLockPolicy,
+)
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+A = MetadataKey("a")
+B = MetadataKey("b")
+
+
+class _Owner:
+    name = "n"
+
+
+class TestFineGrainedPolicy:
+    def test_distinct_locks_per_level(self):
+        policy = FineGrainedLockPolicy()
+        graph = policy.graph_lock()
+        node = policy.node_lock(_Owner())
+
+        class FakeHandler:
+            key = A
+
+        item = policy.item_lock(FakeHandler())
+        assert graph is not node is not item
+        assert policy.lock_count == 3
+
+    def test_aggregate_stats_sums_all_locks(self):
+        policy = FineGrainedLockPolicy()
+        l1, l2 = policy.graph_lock(), policy.node_lock(_Owner())
+        with l1.read():
+            pass
+        with l2.write():
+            pass
+        stats = policy.aggregate_stats()
+        assert stats.read_acquired == 1
+        assert stats.write_acquired == 1
+
+
+class TestCoarsePolicy:
+    def test_single_shared_lock(self):
+        policy = CoarseLockPolicy()
+
+        class FakeHandler:
+            key = A
+
+        assert policy.graph_lock() is policy.node_lock(_Owner())
+        assert policy.graph_lock() is policy.item_lock(FakeHandler())
+
+
+class TestNoOpPolicy:
+    def test_noop_locks_do_nothing(self):
+        policy = NoOpLockPolicy()
+        lock = policy.graph_lock()
+        assert isinstance(lock, NoOpLock)
+        with lock.read():
+            with lock.write():  # upgrade would deadlock a real lock
+                pass
+        assert lock.acquire_write() is True
+        lock.release_write()
+
+
+class TestPolicyInSystem:
+    def _system(self, policy):
+        clock = VirtualClock()
+        system = MetadataSystem(clock, VirtualTimeScheduler(clock), lock_policy=policy)
+        owner = _Owner()
+        registry = MetadataRegistry(owner, system)
+        owner.metadata = registry
+        return system, registry
+
+    def test_only_included_items_get_real_locks(self):
+        """Section 4.3: only locks of currently included items are used."""
+        policy = FineGrainedLockPolicy()
+        system, registry = self._system(policy)
+        registry.define(MetadataDefinition(A, Mechanism.STATIC, value=1))
+        registry.define(MetadataDefinition(B, Mechanism.STATIC, value=2))
+        locks_before = policy.lock_count  # graph + node lock
+        subscription = registry.subscribe(A)
+        assert policy.lock_count == locks_before + 1  # one item lock, not two
+        subscription.cancel()
+
+    def test_default_policy_is_noop(self):
+        clock = VirtualClock()
+        system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+        assert isinstance(system.lock_policy, NoOpLockPolicy)
+
+    def test_real_locks_guard_handler_access(self):
+        policy = FineGrainedLockPolicy()
+        system, registry = self._system(policy)
+        registry.define(MetadataDefinition(A, Mechanism.STATIC, value=5))
+        subscription = registry.subscribe(A)
+        assert subscription.get() == 5
+        handler_lock = subscription.handler._lock
+        assert isinstance(handler_lock, ReentrantRWLock)
+        assert handler_lock.stats.read_acquired >= 1
+        subscription.cancel()

@@ -1,0 +1,133 @@
+"""Tests for monitoring probes (Section 4.4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import MetadataError
+from repro.metadata.monitor import (
+    CostProbe,
+    CounterProbe,
+    GaugeProbe,
+    MeanProbe,
+    RateProbe,
+)
+
+
+class TestActivation:
+    def test_refcounted_activation(self, clock):
+        probe = CounterProbe("c", clock)
+        probe.activate()
+        probe.activate()
+        probe.deactivate()
+        assert probe.active
+        probe.deactivate()
+        assert not probe.active
+
+    def test_over_deactivation_raises(self, clock):
+        probe = CounterProbe("c", clock)
+        with pytest.raises(MetadataError):
+            probe.deactivate()
+
+    def test_activation_resets_state(self, clock):
+        probe = CounterProbe("c", clock)
+        probe.activate()
+        probe.record(5)
+        probe.deactivate()
+        probe.activate()
+        assert probe.total == 0
+
+
+class TestCounterProbe:
+    def test_records_only_while_active(self, clock):
+        probe = CounterProbe("c", clock)
+        probe.record(3)
+        assert probe.total == 0
+        probe.activate()
+        probe.record(3)
+        probe.record()
+        assert probe.total == 4
+
+
+class TestRateProbe:
+    def test_periodic_rate(self, clock):
+        probe = RateProbe("r", clock)
+        probe.activate()
+        for _ in range(5):
+            probe.record()
+        clock.advance_by(50.0)
+        assert probe.rate_and_reset() == pytest.approx(0.1)
+        # Window restarted: immediate re-read is zero.
+        assert probe.unsafe_peek_rate() == 0.0
+
+    def test_unsafe_interleaved_reads_interfere(self, clock):
+        """The Figure 4 failure mode at probe level: two consumers calling
+        the resetting read destroy each other's measurement window."""
+        probe = RateProbe("r", clock)
+        probe.activate()
+        # 0.1 elements per time unit for 100 units.
+        for _ in range(5):
+            probe.record()
+        clock.advance_by(50.0)
+        first = probe.unsafe_rate_and_reset()   # consumer 1 at t=50
+        clock.advance_by(1.0)
+        probe.record()
+        second = probe.unsafe_rate_and_reset()  # consumer 2 at t=51
+        assert first == pytest.approx(0.1)
+        assert second == pytest.approx(1.0)     # wildly wrong vs true 0.1
+
+
+class TestGaugeProbe:
+    def test_reads_current_value(self):
+        state = {"n": 1}
+        probe = GaugeProbe("g", lambda: state["n"])
+        probe.activate()
+        assert probe.read() == 1
+        state["n"] = 7
+        assert probe.read() == 7
+
+    def test_read_while_inactive_raises(self):
+        probe = GaugeProbe("g", lambda: 0)
+        with pytest.raises(MetadataError):
+            probe.read()
+
+
+class TestCostProbe:
+    def test_usage_per_time_unit(self, clock):
+        probe = CostProbe("cpu", clock)
+        probe.activate()
+        probe.charge(10.0)
+        probe.charge(10.0)
+        clock.advance_by(40.0)
+        assert probe.usage_and_reset() == pytest.approx(0.5)
+        clock.advance_by(10.0)
+        assert probe.usage_and_reset() == 0.0
+
+    def test_zero_elapsed(self, clock):
+        probe = CostProbe("cpu", clock)
+        probe.activate()
+        probe.charge(5.0)
+        assert probe.usage_and_reset() == 0.0
+
+
+class TestMeanProbe:
+    def test_mean_and_reset(self):
+        probe = MeanProbe("m")
+        probe.activate()
+        probe.record(10.0)
+        probe.record(20.0)
+        assert probe.mean_and_reset() == pytest.approx(15.0)
+
+    def test_empty_window_repeats_last_mean(self):
+        probe = MeanProbe("m")
+        probe.activate()
+        probe.record(10.0)
+        assert probe.mean_and_reset() == 10.0
+        assert probe.mean_and_reset() == 10.0  # no new samples
+
+    def test_inactive_records_nothing(self):
+        probe = MeanProbe("m")
+        probe.record(5.0)
+        probe.activate()
+        assert probe.mean_and_reset() == 0.0

@@ -1,0 +1,207 @@
+"""Tests for triggered-update propagation (Section 3.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metadata.item import (
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    NodeDep,
+    SelfDep,
+)
+
+A, B, C, D, E = (MetadataKey(k) for k in "abcde")
+
+
+def make_periodic(registry, key, values, period=10.0):
+    iterator = iter(values)
+    registry.define(MetadataDefinition(
+        key, Mechanism.PERIODIC, period=period, compute=lambda ctx: next(iterator),
+    ))
+
+
+class TestWaveOrdering:
+    def test_diamond_recomputed_once_per_wave(self, make_owner, clock, system):
+        """D depends on B and C which both depend on A: a change of A must
+        recompute D exactly once, after both B and C (Section 3.2.3's
+        'updates have to be performed in the right order')."""
+        owner = make_owner()
+        make_periodic(owner.metadata, A, [1, 2])
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(A) * 10,
+            dependencies=[SelfDep(A)],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            C, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(A) * 100,
+            dependencies=[SelfDep(A)],
+        ))
+        top_values = []
+
+        def compute_top(ctx):
+            value = ctx.value(B) + ctx.value(C)
+            top_values.append(value)
+            return value
+
+        owner.metadata.define(MetadataDefinition(
+            D, Mechanism.TRIGGERED, compute=compute_top,
+            dependencies=[SelfDep(B), SelfDep(C)],
+        ))
+        subscription = owner.metadata.subscribe(D)
+        assert subscription.get() == 110
+        top_values.clear()
+        clock.advance_by(10.0)  # A: 1 -> 2
+        assert subscription.get() == 220
+        # Exactly one recomputation, never the inconsistent mix 210/120.
+        assert top_values == [220]
+        subscription.cancel()
+
+    def test_deep_chain_propagates(self, make_owner, clock):
+        owner = make_owner()
+        make_periodic(owner.metadata, A, [1, 5])
+        previous = A
+        for key in (B, C, D, E):
+            owner.metadata.define(MetadataDefinition(
+                key, Mechanism.TRIGGERED,
+                compute=lambda ctx, dep=previous: ctx.value(dep) + 1,
+                dependencies=[SelfDep(previous)],
+            ))
+            previous = key
+        subscription = owner.metadata.subscribe(E)
+        assert subscription.get() == 5  # 1 + 4 hops
+        clock.advance_by(10.0)
+        assert subscription.get() == 9  # 5 + 4 hops
+        subscription.cancel()
+
+    def test_unchanged_intermediate_cuts_propagation(self, make_owner, clock, system):
+        """B clamps A; if B's value does not change, C is not recomputed."""
+        owner = make_owner()
+        make_periodic(owner.metadata, A, [1, 2, 3, 4, 5])
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED,
+            compute=lambda ctx: min(ctx.value(A), 2),  # saturates at 2
+            dependencies=[SelfDep(A)],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            C, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(B),
+            dependencies=[SelfDep(B)],
+        ))
+        subscription = owner.metadata.subscribe(C)
+        c_handler = owner.metadata.handler(C)
+        clock.advance_by(40.0)  # A runs 1,2,3,4; B saturates at 2 from t=10
+        assert subscription.get() == 2
+        # C recomputed once at inclusion and once when B changed 1->2; the
+        # later unchanged B values were suppressed.
+        assert c_handler.compute_count == 2
+        assert system.propagation.suppressed_count >= 1
+        subscription.cancel()
+
+    def test_cross_node_propagation(self, make_owner, clock):
+        """Inter-node dependency: updates propagate through the query graph."""
+        upstream, downstream = make_owner("up"), make_owner("down")
+        make_periodic(upstream.metadata, A, [1, 7])
+        downstream.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(A) * 2,
+            dependencies=[NodeDep(upstream, A)],
+        ))
+        subscription = downstream.metadata.subscribe(B)
+        assert subscription.get() == 2
+        clock.advance_by(10.0)
+        assert subscription.get() == 14
+        subscription.cancel()
+
+    def test_duplicate_dependency_notified_once(self, make_owner, clock):
+        """An item depending twice on the same upstream item is refreshed
+        once per change (duplicate-subscription detection, Section 3.2.3)."""
+        owner = make_owner()
+        make_periodic(owner.metadata, A, [1, 2])
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED,
+            compute=lambda ctx: sum(ctx.values(A)),
+            dependencies=[SelfDep(A), SelfDep(A)],
+        ))
+        subscription = owner.metadata.subscribe(B)
+        handler_b = subscription.handler
+        handler_a = owner.metadata.handler(A)
+        # A's counter was incremented once per edge...
+        assert handler_a.include_count == 2
+        # ...but B appears once in A's dependents.
+        assert list(handler_a.dependents()).count(handler_b) == 1
+        compute_before = handler_b.compute_count
+        clock.advance_by(10.0)
+        assert handler_b.compute_count == compute_before + 1
+        assert subscription.get() == 4
+        subscription.cancel()
+
+
+class TestEngineAccounting:
+    def test_stats_exposed(self, make_owner, clock, system):
+        owner = make_owner()
+        make_periodic(owner.metadata, A, [1, 2, 3])
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(A),
+            dependencies=[SelfDep(A)],
+        ))
+        subscription = owner.metadata.subscribe(B)
+        clock.advance_by(20.0)
+        stats = system.propagation.stats()
+        assert stats["waves"] >= 2
+        assert stats["refreshes"] >= 2
+        subscription.cancel()
+
+    def test_periodic_dependent_not_refreshed_by_wave(self, make_owner, clock):
+        """Periodic handlers keep their own cadence; only triggered handlers
+        react to dependency changes."""
+        owner = make_owner()
+        make_periodic(owner.metadata, A, [1, 2, 3, 4, 5], period=10.0)
+        counter = {"n": 0}
+
+        def compute_b(ctx):
+            counter["n"] += 1
+            return ctx.value(A)
+
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.PERIODIC, period=100.0, compute=compute_b,
+            dependencies=[SelfDep(A)],
+        ))
+        subscription = owner.metadata.subscribe(B)
+        clock.advance_by(40.0)  # A updated 4x; B's own period not yet due
+        assert counter["n"] == 1  # only the seed computation
+        subscription.cancel()
+
+
+class TestNestedEvents:
+    def test_event_during_wave_queued_not_recursive(self, make_owner):
+        """A compute that fires another event must not re-enter the engine."""
+        owner = make_owner()
+        state = {"x": 1, "y": 10}
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=lambda ctx: state["x"],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            C, Mechanism.ON_DEMAND, compute=lambda ctx: state["y"],
+        ))
+
+        def compute_b(ctx):
+            # Refreshing B bumps y and fires C's event: a nested wave.
+            state["y"] += 1
+            owner.metadata.notify_changed(C)
+            return ctx.value(A)
+
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, compute=compute_b, dependencies=[SelfDep(A)],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            D, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(C),
+            dependencies=[SelfDep(C)],
+        ))
+        sb = owner.metadata.subscribe(B)
+        sd = owner.metadata.subscribe(D)
+        state["x"] = 2
+        owner.metadata.notify_changed(A)
+        # B refreshed; the nested C event was queued and D refreshed after.
+        assert sb.get() == 2
+        assert sd.get() == state["y"]
+        sb.cancel()
+        sd.cancel()

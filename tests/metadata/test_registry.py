@@ -1,0 +1,273 @@
+"""Tests for the publish-subscribe registry (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    DuplicateMetadataError,
+    MetadataError,
+    MetadataNotIncludedError,
+    SubscriptionError,
+    UnknownMetadataError,
+)
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.metadata.monitor import CounterProbe
+
+A = MetadataKey("a")
+B = MetadataKey("b")
+C = MetadataKey("c")
+
+
+def define_static(registry, key, value):
+    registry.define(MetadataDefinition(key, Mechanism.STATIC, value=value))
+
+
+class TestSubscription:
+    def test_subscribe_returns_value(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 42)
+        subscription = owner.metadata.subscribe(A)
+        assert subscription.get() == 42
+
+    def test_unknown_key_raises(self, make_owner):
+        owner = make_owner()
+        with pytest.raises(UnknownMetadataError):
+            owner.metadata.subscribe(A)
+
+    def test_subscription_is_shared_handler(self, make_owner):
+        """Second subscription returns the existing handler (Section 2.1)."""
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        s1 = owner.metadata.subscribe(A)
+        s2 = owner.metadata.subscribe(A)
+        assert s1.handler is s2.handler
+        assert s1.handler.include_count == 2
+        assert s1.handler.consumer_count == 2
+
+    def test_handler_removed_when_counter_zero(self, make_owner, system):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        s1 = owner.metadata.subscribe(A)
+        s2 = owner.metadata.subscribe(A)
+        s1.cancel()
+        assert owner.metadata.is_included(A)
+        s2.cancel()
+        assert not owner.metadata.is_included(A)
+        assert system.included_handler_count == 0
+
+    def test_cancel_twice_raises(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        subscription = owner.metadata.subscribe(A)
+        subscription.cancel()
+        with pytest.raises(SubscriptionError):
+            subscription.cancel()
+
+    def test_get_after_cancel_raises(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        subscription = owner.metadata.subscribe(A)
+        subscription.cancel()
+        with pytest.raises(SubscriptionError):
+            subscription.get()
+
+    def test_context_manager_cancels(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        with owner.metadata.subscribe(A) as subscription:
+            assert subscription.get() == 1
+        assert not owner.metadata.is_included(A)
+
+    def test_resubscribe_after_removal_creates_new_handler(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        s1 = owner.metadata.subscribe(A)
+        h1 = s1.handler
+        s1.cancel()
+        s2 = owner.metadata.subscribe(A)
+        assert s2.handler is not h1
+        s2.cancel()
+
+    def test_registry_get_requires_inclusion(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        with pytest.raises(MetadataNotIncludedError):
+            owner.metadata.get(A)
+        subscription = owner.metadata.subscribe(A)
+        assert owner.metadata.get(A) == 1
+        subscription.cancel()
+
+
+class TestDiscovery:
+    def test_available_and_included_keys(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        define_static(owner.metadata, B, 2)
+        assert set(owner.metadata.available_keys()) == {A, B}
+        assert owner.metadata.included_keys() == []
+        subscription = owner.metadata.subscribe(A)
+        assert owner.metadata.included_keys() == [A]
+        subscription.cancel()
+
+    def test_describe(self, make_owner):
+        owner = make_owner()
+        definition = MetadataDefinition(A, Mechanism.STATIC, value=1,
+                                        description="the answer")
+        owner.metadata.define(definition)
+        assert owner.metadata.describe(A) is definition
+        with pytest.raises(UnknownMetadataError):
+            owner.metadata.describe(B)
+
+
+class TestDefineAndOverride:
+    def test_duplicate_define_rejected(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        with pytest.raises(DuplicateMetadataError):
+            define_static(owner.metadata, A, 2)
+
+    def test_override_replaces_definition(self, make_owner):
+        """Metadata inheritance: subclasses may redefine items (Sec. 4.4.2)."""
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        owner.metadata.define(
+            MetadataDefinition(A, Mechanism.STATIC, value=99), override=True
+        )
+        subscription = owner.metadata.subscribe(A)
+        assert subscription.get() == 99
+        subscription.cancel()
+
+    def test_override_while_included_rejected(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        subscription = owner.metadata.subscribe(A)
+        with pytest.raises(MetadataError):
+            owner.metadata.define(
+                MetadataDefinition(A, Mechanism.STATIC, value=2), override=True
+            )
+        subscription.cancel()
+
+    def test_undefine(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        owner.metadata.undefine(A)
+        assert owner.metadata.available_keys() == []
+
+    def test_undefine_unknown_raises(self, make_owner):
+        owner = make_owner()
+        with pytest.raises(UnknownMetadataError):
+            owner.metadata.undefine(A)
+
+    def test_undefine_while_included_rejected(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, A, 1)
+        subscription = owner.metadata.subscribe(A)
+        with pytest.raises(MetadataError):
+            owner.metadata.undefine(A)
+        subscription.cancel()
+
+
+class TestProbeActivation:
+    def test_probe_activated_on_include_deactivated_on_exclude(
+        self, make_owner, clock
+    ):
+        owner = make_owner()
+        probe = owner.metadata.add_probe(CounterProbe("events", clock))
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, monitors=("events",),
+            compute=lambda ctx: probe.total,
+        ))
+        assert not probe.active
+        subscription = owner.metadata.subscribe(A)
+        assert probe.active
+        probe.record(3)
+        assert subscription.get() == 3
+        subscription.cancel()
+        assert not probe.active
+
+    def test_probe_shared_by_two_items(self, make_owner, clock):
+        owner = make_owner()
+        probe = owner.metadata.add_probe(CounterProbe("events", clock))
+        for key in (A, B):
+            owner.metadata.define(MetadataDefinition(
+                key, Mechanism.ON_DEMAND, monitors=("events",),
+                compute=lambda ctx: probe.total,
+            ))
+        s1 = owner.metadata.subscribe(A)
+        s2 = owner.metadata.subscribe(B)
+        s1.cancel()
+        assert probe.active  # still needed by B
+        s2.cancel()
+        assert not probe.active
+
+    def test_inactive_probe_records_nothing(self, make_owner, clock):
+        owner = make_owner()
+        probe = owner.metadata.add_probe(CounterProbe("events", clock))
+        probe.record(5)
+        assert probe.total == 0
+
+    def test_duplicate_probe_rejected(self, make_owner, clock):
+        owner = make_owner()
+        owner.metadata.add_probe(CounterProbe("events", clock))
+        with pytest.raises(DuplicateMetadataError):
+            owner.metadata.add_probe(CounterProbe("events", clock))
+
+    def test_unknown_probe_in_definition_fails_subscribe(self, make_owner):
+        owner = make_owner()
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, monitors=("missing",),
+            compute=lambda ctx: 1,
+        ))
+        with pytest.raises(MetadataError):
+            owner.metadata.subscribe(A)
+
+
+class TestFailureRollback:
+    def test_failing_compute_rolls_back_inclusion(self, make_owner, system):
+        owner = make_owner()
+
+        def boom(ctx):
+            raise RuntimeError("broken provider")
+
+        define_static(owner.metadata, B, 1)
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.TRIGGERED, compute=boom, dependencies=[SelfDep(B)],
+        ))
+        with pytest.raises(MetadataError):
+            owner.metadata.subscribe(A)
+        # Nothing remains included: the failed item and its dependency both
+        # rolled back.
+        assert owner.metadata.included_keys() == []
+        assert system.included_handler_count == 0
+
+    def test_failed_subscribe_leaves_shared_dependency_for_others(self, make_owner):
+        owner = make_owner()
+        define_static(owner.metadata, B, 1)
+        keep = owner.metadata.subscribe(B)
+
+        def boom(ctx):
+            raise RuntimeError("broken")
+
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.TRIGGERED, compute=boom, dependencies=[SelfDep(B)],
+        ))
+        with pytest.raises(MetadataError):
+            owner.metadata.subscribe(A)
+        assert owner.metadata.is_included(B)
+        assert keep.get() == 1
+        keep.cancel()
+
+
+class TestSubscribeAll:
+    def test_subscribe_all_includes_everything(self, make_owner, system):
+        owners = [make_owner(f"n{i}") for i in range(3)]
+        for owner in owners:
+            define_static(owner.metadata, A, 1)
+            define_static(owner.metadata, B, 2)
+        subscriptions = system.subscribe_all()
+        assert len(subscriptions) == 6
+        assert system.included_handler_count == 6
+        for subscription in subscriptions:
+            subscription.cancel()
+        assert system.included_handler_count == 0

@@ -1,0 +1,75 @@
+"""Tests for the sliding aggregate operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.aggregate import SlidingAggregate
+from repro.operators.window import TimeWindow
+
+
+def aggregate_pipeline(fn="avg", window=100.0):
+    graph = QueryGraph()
+    source = graph.add(Source("s", Schema(("x",))))
+    win = graph.add(TimeWindow("w", window))
+    agg = graph.add(SlidingAggregate("agg", field="x", fn=fn))
+    results = []
+    sink = graph.add(Sink("out", callback=lambda e: results.append(e.payload)))
+    graph.connect(source, win)
+    graph.connect(win, agg)
+    graph.connect(agg, sink)
+    graph.freeze()
+    return graph, source, win, agg, sink, results
+
+
+def feed(graph, source, values_times):
+    nodes = graph.operators() + graph.sinks()
+    for value, t in values_times:
+        source.produce({"x": value}, t)
+        while any(n.step() for n in nodes):
+            pass
+
+
+class TestAggregates:
+    def test_running_average(self):
+        graph, source, win, agg, sink, results = aggregate_pipeline("avg")
+        feed(graph, source, [(10, 0.0), (20, 1.0), (30, 2.0)])
+        assert [r["avg_x"] for r in results] == [10.0, 15.0, 20.0]
+
+    def test_count(self):
+        graph, source, win, agg, sink, results = aggregate_pipeline("count")
+        feed(graph, source, [(1, 0.0), (1, 1.0)])
+        assert [r["count_x"] for r in results] == [1.0, 2.0]
+
+    def test_sum_min_max(self):
+        for fn, expected in (("sum", 6.0), ("min", 1.0), ("max", 3.0)):
+            graph, source, win, agg, sink, results = aggregate_pipeline(fn)
+            feed(graph, source, [(1, 0.0), (2, 1.0), (3, 2.0)])
+            assert results[-1][f"{fn}_x"] == expected
+
+    def test_window_expiry_drops_old_values(self):
+        graph, source, win, agg, sink, results = aggregate_pipeline("avg", window=10.0)
+        feed(graph, source, [(100, 0.0), (2, 50.0)])
+        # The first element expired at t=10, so the second average is 2.
+        assert results[-1]["avg_x"] == 2.0
+        assert agg.state_size() == 1
+
+    def test_custom_callable(self):
+        def spread(values):
+            return max(values) - min(values)
+
+        graph, source, win, agg, sink, results = aggregate_pipeline(spread)
+        feed(graph, source, [(10, 0.0), (4, 1.0)])
+        assert results[-1]["spread_x"] == 6.0
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(GraphError):
+            SlidingAggregate("agg", field="x", fn="median-of-medians")
+
+    def test_output_schema(self):
+        graph, source, win, agg, sink, results = aggregate_pipeline("avg")
+        assert agg.output_schema.fields == ("x", "avg_x")

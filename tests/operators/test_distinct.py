@@ -1,0 +1,102 @@
+"""Tests for DistinctFilter — the metadata-inheritance showcase (Sec. 4.4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.distinct import _INDEX_ENTRY_BYTES, INDEX_ENTRIES, DistinctFilter
+from repro.operators.window import TimeWindow
+
+
+def build(horizon=None, with_window=False):
+    graph = QueryGraph(default_metadata_period=25.0)
+    source = graph.add(Source("s", Schema(("k",))))
+    distinct = graph.add(DistinctFilter("dedup", lambda e: e.field("k"),
+                                        horizon=horizon))
+    results = []
+    sink = graph.add(Sink("out", callback=lambda e: results.append(e.field("k"))))
+    if with_window:
+        window = graph.add(TimeWindow("w", 50.0))
+        graph.connect(source, window)
+        graph.connect(window, distinct)
+    else:
+        graph.connect(source, distinct)
+    graph.connect(distinct, sink)
+    graph.freeze()
+    return graph, source, distinct, sink, results
+
+
+def feed(graph, source, events):
+    nodes = graph.operators() + graph.sinks()
+    for key, t in events:
+        source.produce({"k": key}, t)
+        while any(node.step() for node in nodes):
+            pass
+
+
+class TestDedupSemantics:
+    def test_duplicates_suppressed(self):
+        graph, source, distinct, sink, results = build()
+        feed(graph, source, [(1, 0.0), (1, 1.0), (2, 2.0), (1, 3.0)])
+        assert results == [1, 2]
+        assert distinct.passed == 2
+        assert distinct.rejected == 2
+
+    def test_horizon_expires_suppression(self):
+        graph, source, distinct, sink, results = build(horizon=10.0)
+        feed(graph, source, [(1, 0.0), (1, 5.0), (1, 20.0)])
+        assert results == [1, 1]  # second occurrence after the horizon passes
+
+    def test_window_validity_bounds_suppression(self):
+        graph, source, distinct, sink, results = build(with_window=True)
+        feed(graph, source, [(1, 0.0), (1, 10.0), (1, 100.0)])
+        # Window size 50: the first key-1 entry expired at t=50.
+        assert results == [1, 1]
+
+    def test_state_tracks_live_keys(self):
+        graph, source, distinct, sink, results = build(horizon=10.0)
+        feed(graph, source, [(1, 0.0), (2, 1.0), (3, 50.0)])
+        assert distinct.state_size() == 1  # keys 1 and 2 expired at t=50
+
+
+class TestInheritedMetadata:
+    def test_inherits_selectivity_measuring_dedup_rate(self):
+        graph, source, distinct, sink, results = build()
+        subscription = distinct.metadata.subscribe(md.SELECTIVITY)
+        feed(graph, source, [(i % 2, float(i)) for i in range(10)])
+        graph.clock.advance_by(25.0)
+        assert subscription.get() == pytest.approx(0.2)  # 2 of 10 passed
+        subscription.cancel()
+
+    def test_new_item_available(self):
+        graph, source, distinct, sink, results = build()
+        with distinct.metadata.subscribe(INDEX_ENTRIES) as subscription:
+            feed(graph, source, [(1, 0.0), (2, 1.0)])
+            assert subscription.get() == 2
+
+    def test_memory_usage_overridden_to_include_index(self):
+        """The Section 4.4.2 example: the specialised operator's memory item
+        reflects its additional data structure."""
+        graph, source, distinct, sink, results = build()
+        with distinct.metadata.subscribe(md.MEMORY_USAGE) as subscription:
+            feed(graph, source, [(1, 0.0), (2, 1.0), (3, 2.0)])
+            assert subscription.get() == 3 * _INDEX_ENTRY_BYTES
+
+    def test_plain_filter_memory_stays_zero(self):
+        """Contrast: the base class' inherited definition reports 0 for a
+        stateless filter, proving the override is per-subclass."""
+        from repro.operators.filter import Filter
+
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("k",))))
+        plain = graph.add(Filter("plain", lambda e: True))
+        sink = graph.add(Sink("out"))
+        graph.connect(source, plain)
+        graph.connect(plain, sink)
+        graph.freeze()
+        with plain.metadata.subscribe(md.MEMORY_USAGE) as subscription:
+            assert subscription.get() == 0

@@ -1,0 +1,123 @@
+"""Tests for filter, map, project and union operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.operators.filter import Filter
+from repro.operators.map import Map
+from repro.operators.project import Project
+from repro.operators.union import Union
+
+
+def run_pipeline(operator, payloads, schema=Schema(("x", "y"))):
+    graph = QueryGraph()
+    source = graph.add(Source("s", schema))
+    op = graph.add(operator)
+    results = []
+    sink = graph.add(Sink("out", callback=lambda e: results.append(e.payload)))
+    graph.connect(source, op)
+    graph.connect(op, sink)
+    graph.freeze()
+    for i, payload in enumerate(payloads):
+        source.produce(payload, float(i))
+    while op.step() or sink.step():
+        pass
+    return graph, op, results
+
+
+class TestFilter:
+    def test_passes_matching_elements(self):
+        _, op, results = run_pipeline(
+            Filter("f", lambda e: e.field("x") > 2),
+            [{"x": i, "y": 0} for i in range(5)],
+        )
+        assert [r["x"] for r in results] == [3, 4]
+        assert op.passed == 2
+        assert op.rejected == 3
+
+    def test_schema_passthrough(self):
+        graph, op, _ = run_pipeline(Filter("f", lambda e: True), [])
+        assert op.output_schema.fields == ("x", "y")
+
+
+class TestMap:
+    def test_transforms_payload(self):
+        _, _, results = run_pipeline(
+            Map("m", lambda p: {"x": p["x"] * 10}),
+            [{"x": 1, "y": 2}, {"x": 2, "y": 3}],
+        )
+        assert [r["x"] for r in results] == [10, 20]
+
+    def test_schema_override(self):
+        override = Schema(("z",), element_size=8)
+        graph, op, _ = run_pipeline(Map("m", lambda p: p, output_schema=override), [])
+        assert op.output_schema is override
+
+    def test_preserves_timestamp_and_expiry(self):
+        graph = QueryGraph()
+        source = graph.add(Source("s", Schema(("x",))))
+        mapper = graph.add(Map("m", lambda p: p))
+        captured = []
+        sink = graph.add(Sink("out", callback=captured.append))
+        graph.connect(source, mapper)
+        graph.connect(mapper, sink)
+        graph.freeze()
+        source.produce({"x": 1}, 5.0)
+        mapper.step()
+        sink.step()
+        assert captured[0].timestamp == 5.0
+
+
+class TestProject:
+    def test_keeps_only_projected_fields(self):
+        _, _, results = run_pipeline(
+            Project("p", ["y"]),
+            [{"x": 1, "y": 2}],
+        )
+        assert results == [{"y": 2}]
+
+    def test_schema_shrinks(self):
+        graph, op, _ = run_pipeline(Project("p", ["y"]), [])
+        assert op.output_schema.fields == ("y",)
+        assert op.output_schema.element_size < Schema(("x", "y")).element_size
+
+    def test_missing_field_raises_on_schema(self):
+        graph, op, _ = run_pipeline(Project("p", ["y"]), [])
+        with pytest.raises(SchemaError):
+            op.output_schema.project(["nope"])
+
+
+class TestUnion:
+    def test_merges_streams(self):
+        graph = QueryGraph()
+        s1 = graph.add(Source("s1", Schema(("x",))))
+        s2 = graph.add(Source("s2", Schema(("x",))))
+        union = graph.add(Union("u"))
+        results = []
+        sink = graph.add(Sink("out", callback=lambda e: results.append(e.field("x"))))
+        graph.connect(s1, union)
+        graph.connect(s2, union)
+        graph.connect(union, sink)
+        graph.freeze()
+        s1.produce({"x": 1}, 0.0)
+        s2.produce({"x": 2}, 0.0)
+        while union.step() or sink.step():
+            pass
+        assert sorted(results) == [1, 2]
+
+    def test_incompatible_schemas_rejected(self):
+        graph = QueryGraph()
+        s1 = graph.add(Source("s1", Schema(("x",))))
+        s2 = graph.add(Source("s2", Schema(("y",))))
+        union = graph.add(Union("u"))
+        sink = graph.add(Sink("out"))
+        graph.connect(s1, union)
+        graph.connect(s2, union)
+        graph.connect(union, sink)
+        with pytest.raises(SchemaError):
+            union.output_schema

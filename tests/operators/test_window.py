@@ -1,0 +1,123 @@
+"""Tests for window operators (Section 2.5, Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.element import Schema
+from repro.graph.graph import QueryGraph
+from repro.graph.node import Sink, Source
+from repro.metadata import catalogue as md
+from repro.operators.window import CountWindow, TimeWindow
+
+
+def window_pipeline(window):
+    graph = QueryGraph()
+    source = graph.add(Source("s", Schema(("x",))))
+    win = graph.add(window)
+    captured = []
+    sink = graph.add(Sink("out", callback=captured.append))
+    graph.connect(source, win)
+    graph.connect(win, sink)
+    graph.freeze()
+    return graph, source, win, sink, captured
+
+
+def push(graph, source, win, sink, payload, t):
+    source.produce(payload, t)
+    while win.step() or sink.step():
+        pass
+
+
+class TestTimeWindow:
+    def test_assigns_validity(self):
+        graph, source, win, sink, captured = window_pipeline(TimeWindow("w", 50.0))
+        push(graph, source, win, sink, {"x": 1}, 10.0)
+        assert captured[0].timestamp == 10.0
+        assert captured[0].expiry == 60.0
+        assert captured[0].validity == 50.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(GraphError):
+            TimeWindow("w", 0.0)
+        win = TimeWindow("w", 10.0)
+        with pytest.raises(GraphError):
+            win.set_size(-1.0)
+
+    def test_set_size_affects_future_elements(self):
+        graph, source, win, sink, captured = window_pipeline(TimeWindow("w", 50.0))
+        push(graph, source, win, sink, {"x": 1}, 0.0)
+        win.set_size(20.0)
+        push(graph, source, win, sink, {"x": 2}, 1.0)
+        assert captured[0].validity == 50.0
+        assert captured[1].validity == 20.0
+
+    def test_window_size_metadata_follows_set_size(self):
+        graph, source, win, sink, captured = window_pipeline(TimeWindow("w", 50.0))
+        with win.metadata.subscribe(md.WINDOW_SIZE) as s:
+            assert s.get() == 50.0
+            win.set_size(25.0)
+            assert s.get() == 25.0
+
+    def test_set_size_triggers_est_validity(self):
+        """The Section 3.3 cascade: window.size event -> est validity."""
+        graph, source, win, sink, captured = window_pipeline(TimeWindow("w", 50.0))
+        subscription = win.metadata.subscribe(md.EST_ELEMENT_VALIDITY)
+        assert subscription.get() == 50.0
+        win.set_size(30.0)
+        assert subscription.get() == 30.0  # refreshed without re-subscribe
+        subscription.cancel()
+
+    def test_measured_validity(self):
+        graph, source, win, sink, captured = window_pipeline(TimeWindow("w", 50.0))
+        subscription = win.metadata.subscribe(md.ELEMENT_VALIDITY)
+        push(graph, source, win, sink, {"x": 1}, 0.0)
+        push(graph, source, win, sink, {"x": 2}, 10.0)
+        graph.clock.advance_by(win.metadata_period + 1)
+        assert subscription.get() == pytest.approx(50.0)
+        subscription.cancel()
+
+    def test_est_output_rate_forwards_upstream(self):
+        graph, source, win, sink, captured = window_pipeline(TimeWindow("w", 50.0))
+        subscription = win.metadata.subscribe(md.EST_OUTPUT_RATE)
+        # Inter-node recursion reached the source's items.
+        assert source.metadata.is_included(md.EST_OUTPUT_RATE)
+        assert source.metadata.is_included(md.OUTPUT_RATE)
+        for i in range(10):
+            push(graph, source, win, sink, {"x": i}, graph.clock.now())
+            graph.clock.advance_by(10.0)
+        assert subscription.get() == pytest.approx(0.1, rel=0.05)
+        subscription.cancel()
+        assert not source.metadata.is_included(md.OUTPUT_RATE)
+
+
+class TestCountWindow:
+    def test_displaced_element_expires(self):
+        graph, source, win, sink, captured = window_pipeline(CountWindow("w", 2))
+        for i, t in enumerate((0.0, 1.0, 2.0)):
+            push(graph, source, win, sink, {"x": i}, t)
+        # First element was displaced when the third arrived (t=2.0).
+        assert captured[0].expiry == 2.0
+        assert captured[1].expiry == float("inf")
+        assert captured[2].expiry == float("inf")
+
+    def test_state_size_bounded_by_count(self):
+        graph, source, win, sink, captured = window_pipeline(CountWindow("w", 3))
+        for i in range(10):
+            push(graph, source, win, sink, {"x": i}, float(i))
+        assert win.state_size() == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(GraphError):
+            CountWindow("w", 0)
+
+    def test_est_validity_from_rate(self):
+        graph, source, win, sink, captured = window_pipeline(CountWindow("w", 5))
+        subscription = win.metadata.subscribe(md.EST_ELEMENT_VALIDITY)
+        for i in range(10):
+            push(graph, source, win, sink, {"x": i}, graph.clock.now())
+            graph.clock.advance_by(10.0)
+        # rate 0.1 -> validity estimate = 5 / 0.1 = 50 time units
+        assert subscription.get() == pytest.approx(50.0, rel=0.1)
+        subscription.cancel()

@@ -1,0 +1,86 @@
+"""Property tests for the virtual clock's timer queue."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+
+
+class TestTimerOrdering:
+    @given(deadlines=st.lists(st.floats(0.0, 1e4, allow_nan=False),
+                              min_size=1, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_fire_order_is_sorted(self, deadlines):
+        clock = VirtualClock()
+        fired: list[float] = []
+        for d in deadlines:
+            clock.schedule_at(d, lambda d=d: fired.append(d))
+        clock.run_until_idle()
+        assert fired == sorted(deadlines)
+        assert clock.now() == max(deadlines)
+
+    @given(
+        deadlines=st.lists(st.floats(0.0, 100.0, allow_nan=False),
+                           min_size=1, max_size=40),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_never_fire(self, deadlines, cancel_mask):
+        clock = VirtualClock()
+        fired: list[int] = []
+        timers = [
+            clock.schedule_at(d, lambda i=i: fired.append(i))
+            for i, d in enumerate(deadlines)
+        ]
+        for timer, cancel in zip(timers, cancel_mask):
+            if cancel:
+                timer.cancel()
+        clock.run_until_idle()
+        expected = {
+            i for i, d in enumerate(deadlines)
+            if i >= len(cancel_mask) or not cancel_mask[i]
+        }
+        assert set(fired) == expected
+
+    @given(
+        chunks=st.lists(st.floats(0.01, 50.0, allow_nan=False),
+                        min_size=1, max_size=20),
+        deadlines=st.lists(st.floats(0.0, 500.0, allow_nan=False), max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_advance_equals_single_advance(self, chunks, deadlines):
+        def run(advance_steps):
+            clock = VirtualClock()
+            fired = []
+            for d in deadlines:
+                clock.schedule_at(d, lambda d=d: fired.append(d))
+            for step in advance_steps:
+                clock.advance_by(step)
+            return fired, clock.now()
+
+        total = sum(chunks)
+        incremental, t1 = run(chunks)
+        single, t2 = run([total])
+        assert incremental == single
+        assert t1 == t2
+
+    @given(seed_deadline=st.floats(0.0, 10.0, allow_nan=False),
+           gaps=st.lists(st.floats(0.1, 5.0, allow_nan=False),
+                         min_size=1, max_size=15))
+    @settings(max_examples=80, deadline=None)
+    def test_rescheduling_chain_observes_monotone_time(self, seed_deadline, gaps):
+        clock = VirtualClock()
+        seen: list[float] = []
+        remaining = list(gaps)
+
+        def fire():
+            seen.append(clock.now())
+            if remaining:
+                clock.schedule_after(remaining.pop(0), fire)
+
+        clock.schedule_at(seed_deadline, fire)
+        clock.run_until_idle()
+        assert seen == sorted(seen)
+        assert len(seen) == len(gaps) + 1

@@ -1,0 +1,140 @@
+"""Property-based tests for the pub-sub dependency machinery.
+
+Invariants checked under random dependency DAGs and random
+subscribe/unsubscribe sequences:
+
+1. The included set always equals the dependency closure of the actively
+   subscribed items (automatic inclusion, Section 2.4).
+2. Every handler's inclusion counter equals its consumer subscriptions plus
+   one per dependency edge from an included dependent (handler sharing,
+   Section 2.1).
+3. Cancelling everything empties the system completely — no leaked handlers,
+   probes or periodic tasks.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+N_ITEMS = 8
+
+
+class _Owner:
+    name = "prop-node"
+
+
+def build_registry(edges: set[tuple[int, int]]):
+    """Create one registry with items 0..N-1 and dependency edges i -> j
+    (i depends on j) for j < i — acyclic by construction."""
+    clock = VirtualClock()
+    system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+    owner = _Owner()
+    registry = MetadataRegistry(owner, system)
+    owner.metadata = registry
+    keys = [MetadataKey(f"item{i}") for i in range(N_ITEMS)]
+    for i in range(N_ITEMS):
+        deps = [SelfDep(keys[j]) for (a, j) in sorted(edges) if a == i]
+        if deps:
+            registry.define(MetadataDefinition(
+                keys[i], Mechanism.TRIGGERED,
+                compute=lambda ctx: sum(ctx.values(k) for k in []) or 0,
+                dependencies=deps,
+            ))
+        else:
+            registry.define(MetadataDefinition(
+                keys[i], Mechanism.STATIC, value=i,
+            ))
+    return system, registry, keys
+
+
+def closure(edges: set[tuple[int, int]], roots: set[int]) -> set[int]:
+    out: set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in out:
+            continue
+        out.add(node)
+        stack.extend(j for (i, j) in edges if i == node)
+    return out
+
+
+edges_strategy = st.sets(
+    st.tuples(st.integers(1, N_ITEMS - 1), st.integers(0, N_ITEMS - 1)).filter(
+        lambda e: e[1] < e[0]
+    ),
+    max_size=14,
+)
+
+# A sequence of operations: subscribe to item k (positive) or cancel the
+# oldest active subscription to item k (negative encoding handled below).
+ops_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(0, N_ITEMS - 1)), min_size=1, max_size=40
+)
+
+
+class TestInclusionInvariants:
+    @given(edges=edges_strategy, ops=ops_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_included_set_is_closure_of_subscriptions(self, edges, ops):
+        system, registry, keys = build_registry(edges)
+        active: dict[int, list] = {i: [] for i in range(N_ITEMS)}
+        for is_subscribe, item in ops:
+            if is_subscribe:
+                active[item].append(registry.subscribe(keys[item]))
+            elif active[item]:
+                active[item].pop(0).cancel()
+
+            roots = {i for i, subs in active.items() if subs}
+            expected = closure(edges, roots)
+            included = {int(k.name[4:]) for k in registry.included_keys()}
+            assert included == expected
+
+        # Counter invariant: consumer subs + one per dependent edge.
+        for i in range(N_ITEMS):
+            if not registry.is_included(keys[i]):
+                continue
+            handler = registry.handler(keys[i])
+            dependent_edges = 0
+            for j in range(N_ITEMS):
+                if registry.is_included(keys[j]):
+                    dependent_edges += sum(
+                        1 for (a, b) in edges if a == j and b == i
+                    )
+            assert handler.include_count == len(active[i]) + dependent_edges
+            assert handler.consumer_count == len(active[i])
+
+        # Tear-down: nothing leaks.
+        for subs in active.values():
+            while subs:
+                subs.pop().cancel()
+        assert registry.included_keys() == []
+        assert system.included_handler_count == 0
+
+    @given(edges=edges_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_subscribe_unsubscribe_roundtrip_identity(self, edges):
+        system, registry, keys = build_registry(edges)
+        for i in range(N_ITEMS):
+            subscription = registry.subscribe(keys[i])
+            assert registry.is_included(keys[i])
+            subscription.cancel()
+            assert registry.included_keys() == []
+            assert system.included_handler_count == 0
+
+    @given(edges=edges_strategy, order=st.permutations(range(N_ITEMS)))
+    @settings(max_examples=60, deadline=None)
+    def test_cancel_order_does_not_matter(self, edges, order):
+        system, registry, keys = build_registry(edges)
+        subscriptions = [registry.subscribe(keys[i]) for i in range(N_ITEMS)]
+        for i in order:
+            subscriptions[i].cancel()
+        assert registry.included_keys() == []
+        assert system.included_handler_count == 0
+        assert system.handlers_created == system.handlers_removed

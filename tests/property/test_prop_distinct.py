@@ -1,0 +1,59 @@
+"""Property test: DistinctFilter matches a reference dedup model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.element import StreamElement
+from repro.operators.distinct import DistinctFilter
+
+# (key, time-gap) event stream with non-decreasing timestamps.
+events = st.lists(
+    st.tuples(st.integers(0, 5), st.floats(0.0, 20.0, allow_nan=False)),
+    min_size=1, max_size=60,
+)
+horizons = st.floats(1.0, 50.0, allow_nan=False)
+
+
+class TestDistinctModel:
+    @given(events=events, horizon=horizons)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_model(self, events, horizon):
+        distinct = DistinctFilter("d", lambda e: e.field("k"), horizon=horizon)
+        emitted = []
+        distinct.emit = lambda element: emitted.append(element)  # capture
+
+        model_seen: dict[int, float] = {}
+        model_emitted = []
+        now = 0.0
+        for key, gap in events:
+            now += gap
+            # Reference model: evict expired, pass first occurrence.
+            expired = [k for k, until in model_seen.items() if until <= now]
+            for k in expired:
+                del model_seen[k]
+            if key not in model_seen:
+                model_seen[key] = now + horizon
+                model_emitted.append((key, now))
+
+            distinct.on_element(StreamElement({"k": key}, now), 0)
+
+        assert [(e.field("k"), e.timestamp) for e in emitted] == model_emitted
+        assert distinct.state_size() == len(model_seen)
+        assert distinct.passed == len(model_emitted)
+        assert distinct.rejected == len(events) - len(model_emitted)
+
+    @given(events=events)
+    @settings(max_examples=60, deadline=None)
+    def test_unbounded_horizon_emits_each_key_once(self, events):
+        distinct = DistinctFilter("d", lambda e: e.field("k"), horizon=None)
+        emitted = []
+        distinct.emit = lambda element: emitted.append(element)
+        now = 0.0
+        for key, gap in events:
+            now += gap
+            distinct.on_element(StreamElement({"k": key}, now), 0)
+        keys = [e.field("k") for e in emitted]
+        assert len(keys) == len(set(keys))
+        assert set(keys) == {key for key, _ in events}

@@ -1,0 +1,135 @@
+"""Property tests for inclusion invariants across node boundaries.
+
+Random layered topologies: L layers of nodes, each node's items depending on
+items of nodes in the previous layer (inter-node) and on local items
+(intra-node).  The global invariants of the pub-sub architecture must hold
+regardless of topology and subscription order:
+
+* the included set equals the dependency closure of active subscriptions,
+* exclusion is exactly symmetric (no leaked handlers anywhere), and
+* cross-node notification edges are torn down with the handlers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.metadata.item import (
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    NodeDep,
+    SelfDep,
+)
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+LAYERS = 3
+NODES_PER_LAYER = 2
+ITEMS_PER_NODE = 2
+
+BASE = MetadataKey("base")
+DERIVED = [MetadataKey(f"derived{i}") for i in range(ITEMS_PER_NODE)]
+
+
+class _Owner:
+    def __init__(self, name):
+        self.name = name
+        self.metadata = None
+
+    def __repr__(self):
+        return f"_Owner({self.name})"
+
+
+def build_topology(edge_choices):
+    """Layered nodes; ``edge_choices`` picks the upstream target per edge."""
+    clock = VirtualClock()
+    system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+    layers: list[list[_Owner]] = []
+    choice_iter = iter(edge_choices)
+    for layer_index in range(LAYERS):
+        layer = []
+        for node_index in range(NODES_PER_LAYER):
+            owner = _Owner(f"n{layer_index}_{node_index}")
+            owner.metadata = MetadataRegistry(owner, system)
+            owner.metadata.define(MetadataDefinition(
+                BASE, Mechanism.STATIC, value=layer_index,
+            ))
+            for item_index, key in enumerate(DERIVED):
+                deps = [SelfDep(BASE)]
+                if layer_index > 0:
+                    target = layers[layer_index - 1][
+                        next(choice_iter) % NODES_PER_LAYER
+                    ]
+                    dep_key = DERIVED[next(choice_iter) % ITEMS_PER_NODE]
+                    deps.append(NodeDep(target, dep_key))
+                owner.metadata.define(MetadataDefinition(
+                    key, Mechanism.TRIGGERED,
+                    compute=lambda ctx: 1,
+                    dependencies=deps,
+                ))
+            layer.append(owner)
+        layers.append(layer)
+    return system, layers
+
+
+N_EDGE_CHOICES = LAYERS * NODES_PER_LAYER * ITEMS_PER_NODE * 2
+
+topology = st.lists(st.integers(0, 97), min_size=N_EDGE_CHOICES,
+                    max_size=N_EDGE_CHOICES)
+subscription_plan = st.lists(
+    st.tuples(st.integers(0, LAYERS - 1), st.integers(0, NODES_PER_LAYER - 1),
+              st.integers(0, ITEMS_PER_NODE - 1)),
+    min_size=1, max_size=10,
+)
+
+
+class TestCrossNodeInvariants:
+    @given(edges=topology, plan=subscription_plan)
+    @settings(max_examples=80, deadline=None)
+    def test_closure_and_symmetric_teardown(self, edges, plan):
+        system, layers = build_topology(edges)
+        subscriptions = []
+        for layer, node, item in plan:
+            registry = layers[layer][node].metadata
+            subscriptions.append(registry.subscribe(DERIVED[item]))
+
+        # Every included handler is reachable from some subscription.
+        live_ids = set()
+        frontier = [s.handler for s in subscriptions]
+        while frontier:
+            handler = frontier.pop()
+            if id(handler) in live_ids:
+                continue
+            live_ids.add(id(handler))
+            frontier.extend(dep for _, dep in handler.dependency_handlers)
+        assert system.included_handler_count == len(live_ids)
+
+        # Dependents bookkeeping: every dependency edge is mirrored.
+        for layer in layers:
+            for owner in layer:
+                for key in owner.metadata.included_keys():
+                    handler = owner.metadata.handler(key)
+                    for _, dep in handler.dependency_handlers:
+                        assert handler in dep.dependents()
+
+        for subscription in subscriptions:
+            subscription.cancel()
+        assert system.included_handler_count == 0
+        for layer in layers:
+            for owner in layer:
+                assert owner.metadata.included_keys() == []
+
+    @given(edges=topology)
+    @settings(max_examples=40, deadline=None)
+    def test_subscribe_all_everywhere_then_teardown(self, edges):
+        system, layers = build_topology(edges)
+        subscriptions = system.subscribe_all()
+        assert system.included_handler_count == LAYERS * NODES_PER_LAYER * (
+            ITEMS_PER_NODE + 1
+        )
+        for subscription in subscriptions:
+            subscription.cancel()
+        assert system.included_handler_count == 0

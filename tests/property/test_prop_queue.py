@@ -1,0 +1,57 @@
+"""Property test: StreamQueue behaves like a bounded FIFO reference model."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.element import StreamElement
+from repro.graph.queues import StreamQueue
+
+
+class _Node:
+    def __init__(self, name):
+        self.name = name
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 1000)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=100,
+)
+
+
+class TestQueueModel:
+    @given(ops=ops, capacity=st.one_of(st.none(), st.integers(1, 10)))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_deque(self, ops, capacity):
+        queue = StreamQueue(_Node("p"), _Node("c"), 0, capacity=capacity)
+        model: deque = deque()
+        pushed = popped = dropped = 0
+        for op, value in ops:
+            if op == "push":
+                element = StreamElement({"v": value}, float(pushed))
+                accepted = queue.push(element)
+                if capacity is not None and len(model) >= capacity:
+                    assert not accepted
+                    dropped += 1
+                else:
+                    assert accepted
+                    model.append(value)
+                    pushed += 1
+            else:
+                element = queue.pop()
+                if model:
+                    assert element is not None
+                    assert element.field("v") == model.popleft()
+                    popped += 1
+                else:
+                    assert element is None
+            assert len(queue) == len(model)
+        assert queue.enqueued == pushed
+        assert queue.dequeued == popped
+        assert queue.dropped == dropped

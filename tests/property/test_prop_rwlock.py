@@ -1,0 +1,66 @@
+"""Property test: the RW lock's reentrancy bookkeeping under random nesting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import LockUpgradeError
+from repro.common.rwlock import ReentrantRWLock
+
+# Random sequences of lock operations executed by a single thread.  The model
+# tracks what should be held; the lock must agree and never deadlock.
+ops = st.lists(st.sampled_from(["ar", "rr", "aw", "rw"]), max_size=40)
+
+
+class TestSingleThreadModel:
+    @given(ops=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_model(self, ops):
+        lock = ReentrantRWLock("prop")
+        reads = writes = 0
+        for op in ops:
+            if op == "ar":
+                if writes == 0 and reads == 0:
+                    lock.acquire_read()
+                    reads += 1
+                elif writes > 0 or reads > 0:
+                    lock.acquire_read()  # reentrant or downgrade: must succeed
+                    reads += 1
+            elif op == "rr":
+                if reads > 0:
+                    lock.release_read()
+                    reads -= 1
+                else:
+                    with pytest.raises(RuntimeError):
+                        lock.release_read()
+            elif op == "aw":
+                if writes > 0:
+                    lock.acquire_write()
+                    writes += 1
+                elif reads > 0:
+                    with pytest.raises(LockUpgradeError):
+                        lock.acquire_write()
+                else:
+                    lock.acquire_write()
+                    writes += 1
+            elif op == "rw":
+                if writes > 0:
+                    lock.release_write()
+                    writes -= 1
+                else:
+                    with pytest.raises(RuntimeError):
+                        lock.release_write()
+
+            expected = "write" if writes else ("read" if reads else None)
+            assert lock.held_by_current_thread() == expected
+
+        # Clean up so the lock ends balanced.
+        while writes:
+            lock.release_write()
+            writes -= 1
+        while reads:
+            lock.release_read()
+            reads -= 1
+        assert lock.held_by_current_thread() is None

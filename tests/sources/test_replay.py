@@ -1,0 +1,68 @@
+"""Tests for trace recording and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sources.replay import Trace, TraceReplayDriver, record_trace
+from repro.sources.synthetic import ConstantRate, PoissonArrivals, SequentialValues
+
+
+class FakeSource:
+    def __init__(self):
+        self.events = []
+
+    def produce(self, payload, timestamp):
+        self.events.append((timestamp, payload))
+
+
+class TestTrace:
+    def test_sorted_on_construction(self):
+        trace = Trace([(5.0, "b"), (1.0, "a")])
+        assert [t for t, _ in trace] == [1.0, 5.0]
+
+    def test_duration_and_rate(self):
+        trace = Trace([(0.0, 1), (10.0, 2), (20.0, 3)])
+        assert trace.duration() == 20.0
+        assert trace.mean_rate() == pytest.approx(0.1)
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.duration() == 0.0
+        assert trace.mean_rate() == 0.0
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = Trace([(1.0, {"x": 1}), (2.5, {"x": 2})])
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.events == trace.events
+
+
+class TestRecordTrace:
+    def test_record_constant_rate(self):
+        trace = record_trace(ConstantRate(0.1), SequentialValues(), duration=100.0)
+        assert len(trace) == 10
+        assert trace.events[0] == (10.0, {"x": 0, "seq": 0})
+
+    def test_record_is_deterministic(self):
+        a = record_trace(PoissonArrivals(0.5), SequentialValues(), 100.0, seed=3)
+        b = record_trace(PoissonArrivals(0.5), SequentialValues(), 100.0, seed=3)
+        assert a.events == b.events
+
+
+class TestReplayDriver:
+    def test_replays_bit_identically(self):
+        trace = record_trace(PoissonArrivals(0.2), SequentialValues(), 200.0, seed=1)
+        source = FakeSource()
+        driver = TraceReplayDriver(source, trace)
+        now = driver.first_arrival()
+        while now != float("inf"):
+            now = driver.produce(now)
+        assert source.events == trace.events
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceReplayDriver(FakeSource(), Trace([]))

@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Examples are part of the public deliverable; running them in CI keeps the
+documentation honest.  Each test executes the example's ``main()`` with
+stdout captured and asserts on a signature line of its output.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Metadata available at the join" in out
+        assert "Handlers live after cancelling: 0" in out
+
+    def test_monitoring_dashboard(self, capsys):
+        out = run_example("monitoring_dashboard", capsys)
+        assert "estimated CPU usage" in out
+        assert "mean estimated/measured CPU ratio" in out
+
+    def test_adaptive_resource_management(self, capsys):
+        out = run_example("adaptive_resource_management", capsys)
+        assert "shrink" in out
+        assert "grow" in out
+
+    def test_chain_scheduling(self, capsys):
+        out = run_example("chain_scheduling", capsys)
+        assert "chain saves" in out
+
+    def test_load_shedding(self, capsys):
+        out = run_example("load_shedding", capsys)
+        assert "drop prob" in out
+        assert "delivered" in out
+
+    def test_plan_migration(self, capsys):
+        out = run_example("plan_migration", capsys)
+        assert "MIGRATE join" in out
+        assert "recommendations issued: 2" in out
+
+    def test_metadata_explorer(self, capsys):
+        out = run_example("metadata_explorer", capsys)
+        assert "working set after two subscriptions" in out
+        assert "handlers after cancelling: 0" in out
