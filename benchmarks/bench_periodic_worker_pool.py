@@ -51,10 +51,16 @@ def run(n_handlers: int, pool_size: int):
     with scheduler:
         subscriptions = [registry.subscribe(key) for key in keys]
         time.sleep(DURATION)
-        tasks = [subscription.handler._task for subscription in subscriptions]
-        fires = sum(task.fire_count for task in tasks)
+        # task_snapshot reads each task's counters under the scheduler lock,
+        # so the values are consistent even while workers are still firing.
+        snapshots = [
+            scheduler.task_snapshot(subscription.handler._task)
+            for subscription in subscriptions
+        ]
+        fires = sum(snap["fire_count"] for snap in snapshots)
         lateness = (
-            sum(task.total_lateness for task in tasks) / fires if fires else 0.0
+            sum(snap["total_lateness"] for snap in snapshots) / fires
+            if fires else 0.0
         )
         for subscription in subscriptions:
             subscription.cancel()

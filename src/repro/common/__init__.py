@@ -19,6 +19,12 @@ from repro.common.errors import (
     WiringError,
 )
 from repro.common.events import EventSource, Subscription
+from repro.common.racecheck import (
+    RaceCheck,
+    RaceCheckError,
+    RaceCheckTimeout,
+    WorkerReport,
+)
 from repro.common.rwlock import LockStats, ReentrantRWLock
 from repro.common.stats import (
     Ewma,
@@ -37,6 +43,10 @@ __all__ = [
     "Subscription",
     "LockStats",
     "ReentrantRWLock",
+    "RaceCheck",
+    "RaceCheckError",
+    "RaceCheckTimeout",
+    "WorkerReport",
     "Ewma",
     "OnlineMean",
     "OnlineVariance",

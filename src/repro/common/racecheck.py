@@ -1,0 +1,162 @@
+"""Reusable concurrency stress-test harness.
+
+The metadata runtime promises to be safe under true multi-threaded operation
+(Section 3.2.3's synchronized triggered updates, Section 4.3's worker-thread
+pool).  Exercising that promise needs the same scaffolding every time: spawn
+N worker threads, start them simultaneously, run a loop body per thread,
+stop early when any worker fails, join with a deadline, and turn a hang into
+a diagnosable failure instead of a stuck test run.  :class:`RaceCheck`
+packages exactly that.
+
+Usage::
+
+    check = RaceCheck(iterations=200, timeout=30.0)
+    check.add(lambda worker, i: registry.notify_changed(KEY), threads=4)
+    check.add(churn_subscriptions, name="churn")
+    reports = check.run()   # raises on worker error or deadlock
+
+Worker callables receive ``(worker_index, iteration)``.  ``run()`` returns
+one :class:`WorkerReport` per thread; on failure it raises
+:class:`RaceCheckError` (first worker exception, chained) or
+:class:`RaceCheckTimeout` (join deadline exceeded — the message includes a
+stack dump of every still-running worker, which is usually a deadlock
+witness pointing at the cycle).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["RaceCheck", "RaceCheckError", "RaceCheckTimeout", "WorkerReport"]
+
+
+class RaceCheckError(AssertionError):
+    """A worker thread raised; the stress run is a failure."""
+
+
+class RaceCheckTimeout(RaceCheckError):
+    """Workers failed to finish within the deadline (likely deadlock)."""
+
+
+@dataclass
+class WorkerReport:
+    """Outcome of one worker thread."""
+
+    name: str
+    iterations: int = 0
+    error: Optional[BaseException] = None
+    elapsed: float = 0.0
+
+
+class RaceCheck:
+    """Run worker loops on concurrent threads and fail loudly on races.
+
+    ``iterations`` is the default per-worker loop count, overridable per
+    :meth:`add`.  ``timeout`` bounds the whole run: start-barrier plus the
+    slowest worker plus joins.  Any worker exception stops the remaining
+    workers at their next iteration boundary.
+    """
+
+    def __init__(
+        self, iterations: int = 200, timeout: float = 30.0, name: str = "racecheck"
+    ) -> None:
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+        self.timeout = timeout
+        self.name = name
+        self._specs: list[tuple[str, Callable[[int, int], object], int]] = []
+
+    def add(
+        self,
+        fn: Callable[[int, int], object],
+        *,
+        threads: int = 1,
+        name: str | None = None,
+        iterations: int | None = None,
+    ) -> "RaceCheck":
+        """Register ``fn`` to run on ``threads`` threads; returns ``self``.
+
+        ``fn(worker_index, iteration)`` is called ``iterations`` times per
+        thread; ``worker_index`` is unique across the whole run.
+        """
+        base = name if name is not None else getattr(fn, "__name__", "worker")
+        count = self.iterations if iterations is None else iterations
+        for _ in range(threads):
+            self._specs.append((f"{base}-{len(self._specs)}", fn, count))
+        return self
+
+    def run(self) -> list[WorkerReport]:
+        """Execute all registered workers concurrently; raise on any failure."""
+        if not self._specs:
+            raise ValueError("no workers registered; call add() first")
+        barrier = threading.Barrier(len(self._specs))
+        stop = threading.Event()
+        reports = [WorkerReport(name) for name, _, _ in self._specs]
+
+        def body(index: int, fn: Callable[[int, int], object], count: int) -> None:
+            report = reports[index]
+            try:
+                barrier.wait(timeout=self.timeout)
+                start = time.monotonic()
+                for iteration in range(count):
+                    if stop.is_set():
+                        break
+                    fn(index, iteration)
+                    report.iterations += 1
+                report.elapsed = time.monotonic() - start
+            except BaseException as exc:  # noqa: BLE001 - reported, re-raised
+                report.error = exc
+                stop.set()
+
+        threads = [
+            threading.Thread(
+                target=body,
+                args=(index, fn, count),
+                name=f"{self.name}-{name}",
+                daemon=True,
+            )
+            for index, (name, fn, count) in enumerate(self._specs)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + self.timeout
+        stuck: list[threading.Thread] = []
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stuck.append(thread)
+        if stuck:
+            raise RaceCheckTimeout(
+                f"{self.name}: {len(stuck)} worker(s) still running after "
+                f"{self.timeout:.1f}s — likely deadlock.\n"
+                + _format_stacks(stuck)
+            )
+        failed = [report for report in reports if report.error is not None]
+        if failed:
+            first = failed[0]
+            raise RaceCheckError(
+                f"{self.name}: worker {first.name!r} failed after "
+                f"{first.iterations} iteration(s): {first.error!r} "
+                f"({len(failed)} worker(s) failed in total)"
+            ) from first.error
+        return reports
+
+
+def _format_stacks(threads: list[threading.Thread]) -> str:
+    """Render the current stack of each stuck thread (deadlock witness)."""
+    frames = sys._current_frames()
+    chunks = []
+    for thread in threads:
+        frame = frames.get(thread.ident or -1)
+        if frame is None:
+            chunks.append(f"--- {thread.name}: no frame (exiting?)")
+            continue
+        stack = "".join(traceback.format_stack(frame))
+        chunks.append(f"--- {thread.name}:\n{stack}")
+    return "\n".join(chunks)

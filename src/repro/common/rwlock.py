@@ -22,6 +22,7 @@ benchmark (experiment E9) reports.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -106,14 +107,33 @@ class ReentrantRWLock:
         if state is not None and state.read_count == 0 and state.write_count == 0:
             del self._threads[ident]
 
+    def _wait_until(self, deadline: float | None) -> bool:
+        """One condition-wait round against an absolute monotonic deadline.
+
+        Returns ``False`` when the deadline has expired — the caller gives
+        up.  ``True`` means the caller must re-check its predicate (which may
+        have just become satisfiable, even if this round timed out).
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
+
     # -- read lock ---------------------------------------------------------
 
     def acquire_read(self, timeout: float | None = None) -> bool:
-        """Acquire the read lock, blocking up to ``timeout`` seconds.
+        """Acquire the read lock, blocking up to ``timeout`` seconds *total*.
 
-        Returns ``True`` on success, ``False`` on timeout.
+        Returns ``True`` on success, ``False`` on timeout.  The timeout is an
+        absolute monotonic deadline across all condition-wait rounds, so
+        spurious or irrelevant wakeups cannot extend it.
         """
         ident = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             state = self._state(ident)
             if state.write_count > 0 or state.read_count > 0:
@@ -124,7 +144,7 @@ class ReentrantRWLock:
             contended = False
             while self._writer is not None or self._waiting_writers > 0:
                 contended = True
-                if not self._cond.wait(timeout):
+                if not self._wait_until(deadline):
                     self._discard_if_idle(ident)
                     return False
             state.read_count = 1
@@ -151,12 +171,14 @@ class ReentrantRWLock:
     # -- write lock ----------------------------------------------------------
 
     def acquire_write(self, timeout: float | None = None) -> bool:
-        """Acquire the write lock, blocking up to ``timeout`` seconds.
+        """Acquire the write lock, blocking up to ``timeout`` seconds *total*
+        (an absolute monotonic deadline, as in :meth:`acquire_read`).
 
         Raises :class:`LockUpgradeError` if the calling thread holds only a
         read lock (upgrading is a deadlock hazard and therefore forbidden).
         """
         ident = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             state = self._state(ident)
             if state.write_count > 0:
@@ -174,7 +196,7 @@ class ReentrantRWLock:
             try:
                 while self._writer is not None or self._active_readers > 0:
                     contended = True
-                    if not self._cond.wait(timeout):
+                    if not self._wait_until(deadline):
                         return False
                 self._writer = ident
                 state.write_count = 1

@@ -22,6 +22,7 @@ Four concrete handler types implement Figure 2's maintenance concepts:
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.common.errors import HandlerError, MetadataNotIncludedError
@@ -76,8 +77,12 @@ class MetadataHandler:
         # Kept as an ordered identity set; duplicates are rejected so that a
         # node subscribing via several paths is notified once (Section 3.2.3:
         # "duplicate subscriptions by the same node are detected to avoid
-        # redundant notifications").
+        # redundant notifications").  Guarded by its own mutex: the registry
+        # mutates it under the graph write lock, but propagation waves read
+        # it from scheduler worker threads without taking the graph lock
+        # (taking it there would invert the graph -> item lock hierarchy).
         self._dependents: dict[int, "MetadataHandler"] = {}
+        self._dependents_mutex = threading.Lock()
         self.include_count = 0
         self.consumer_count = 0  # explicit consumer subscriptions only
         self._value: Any = _UNSET
@@ -140,6 +145,10 @@ class MetadataHandler:
         self._ensure_included()
         with self._lock.write():
             changed = self._store(self._compute())
+        # Re-check after releasing the item lock: a concurrent exclusion that
+        # won the race gets a quiet exit instead of a post-removal wave.
+        if self.removed:
+            return
         if changed or self.propagates_always:
             self.registry.propagation.value_changed(self)
 
@@ -187,16 +196,19 @@ class MetadataHandler:
         Returns ``False`` (and does nothing) when the dependent is already
         registered — the duplicate-notification suppression of Section 3.2.3.
         """
-        if id(dependent) in self._dependents:
-            return False
-        self._dependents[id(dependent)] = dependent
-        return True
+        with self._dependents_mutex:
+            if id(dependent) in self._dependents:
+                return False
+            self._dependents[id(dependent)] = dependent
+            return True
 
     def detach_dependent(self, dependent: "MetadataHandler") -> None:
-        self._dependents.pop(id(dependent), None)
+        with self._dependents_mutex:
+            self._dependents.pop(id(dependent), None)
 
     def dependents(self) -> Sequence["MetadataHandler"]:
-        return tuple(self._dependents.values())
+        with self._dependents_mutex:
+            return tuple(self._dependents.values())
 
     def on_dependency_changed(self, dependency: "MetadataHandler") -> bool:
         """React to a change of a dependency.
@@ -279,17 +291,25 @@ class PeriodicHandler(MetadataHandler):
         self._task = self.registry.scheduler.register(self)
 
     def on_removed(self) -> None:
+        # Set the removed flag *before* unregistering: a refresh already in
+        # flight on a worker thread then observes it and becomes a no-op,
+        # instead of recomputing and propagating after exclusion.
+        super().on_removed()
         if self._task is not None:
             self.registry.scheduler.unregister(self._task)
             self._task = None
-        super().on_removed()
 
     def periodic_refresh(self) -> None:
         """One scheduler tick: recompute from the information gathered during
         the elapsed window and publish the new value."""
         if self.removed:
             return
-        self.refresh()
+        try:
+            self.refresh()
+        except MetadataNotIncludedError:
+            # Removed concurrently between the check above and the refresh —
+            # a clean cancellation, not an error the scheduler should count.
+            return
 
     def get(self) -> Any:
         self._ensure_included()

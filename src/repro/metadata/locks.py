@@ -15,6 +15,22 @@ The policy object decides what those locks physically are:
 
 All three expose the same interface, so executors and registries are agnostic
 to the policy in use.
+
+Lock hierarchy
+--------------
+
+Threads must acquire locks in the fixed order **graph → node → item**
+(:data:`LOCK_HIERARCHY`) and must never wait for an earlier level while
+holding a later one.  Two corollaries the runtime relies on:
+
+* propagation waves and value reads never take the graph lock — they work on
+  lock-free snapshots (``MetadataHandler.dependents()``, dict reads) so they
+  can run while holding item locks;
+* compute functions execute under their handler's item write lock and
+  therefore must never subscribe, cancel subscriptions, define items, or do
+  anything else that needs the graph lock.
+
+See the "Concurrency model" section of docs/METADATA_GUIDE.md.
 """
 
 from __future__ import annotations
@@ -25,12 +41,18 @@ from typing import Any, Iterator
 from repro.common.rwlock import LockStats, ReentrantRWLock
 
 __all__ = [
+    "LOCK_HIERARCHY",
     "LockPolicy",
     "FineGrainedLockPolicy",
     "CoarseLockPolicy",
     "NoOpLockPolicy",
     "NoOpLock",
 ]
+
+#: Fixed acquisition order of the three locking levels (Section 4.2); a
+#: thread may only request a lock whose level comes *after* every level it
+#: already holds.
+LOCK_HIERARCHY: tuple[str, ...] = ("graph", "node", "item")
 
 
 class NoOpLock:
@@ -60,6 +82,10 @@ class NoOpLock:
 
     def release_write(self) -> None:
         pass
+
+    def held_by_current_thread(self) -> str | None:
+        """Interface parity with :class:`ReentrantRWLock`; never held."""
+        return None
 
 
 class LockPolicy:

@@ -25,11 +25,35 @@ Manual event notifications (Section 3.2.3, for on-demand sources whose state
 change must be reflected immediately) enter through :meth:`event_fired`: the
 source is treated as changed without being recomputed, and its on-demand
 ``get`` recomputes lazily when a refreshed dependent reads it.
+
+Thread safety
+-------------
+
+Section 3.2.3 requires that triggered updates are "synchronized", and
+Section 4.3 runs periodic refreshes — which feed this engine — on a pool of
+worker threads.  The engine therefore serializes waves across threads:
+
+* every :meth:`value_changed` / :meth:`event_fired` call enqueues exactly one
+  wave source on a mutex-guarded deque,
+* at most one thread at a time (the *drainer*) pops sources and runs waves,
+  run-to-completion, in FIFO order,
+* the drainer role is handed off under the mutex: a thread only gives the
+  role up in the same critical section in which it observes the queue empty,
+  so a source enqueued concurrently is either seen by the retiring drainer
+  or its enqueuer becomes the next drainer — no wave can be lost.
+
+Waves fired from within a running wave (a refresh that calls
+``notify_changed``) are queued behind the current wave, preserving the
+original single-threaded run-to-completion semantics.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+import threading
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.common.errors import MetadataNotIncludedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.handler import MetadataHandler
@@ -52,12 +76,15 @@ class PropagationEngine:
         #: dependents once per path and transiently exposes inconsistent
         #: values; it exists only as the ablation baseline of experiment E12.
         self.ordered = ordered
+        # Counters are mutated only by the active drainer thread; the drainer
+        # role is handed off under ``_mutex``, which orders those mutations.
         self.wave_count = 0
         self.refresh_count = 0
         self.suppressed_count = 0  # dependents skipped because inputs were unchanged
         self.error_count = 0       # recomputes that raised (handler keeps old value)
-        self._propagating = False
-        self._pending: list["MetadataHandler"] = []
+        self._mutex = threading.Lock()
+        self._pending: deque["MetadataHandler"] = deque()
+        self._drainer: int | None = None  # ident of the thread running waves
 
     # -- public entry points -------------------------------------------------
 
@@ -72,19 +99,37 @@ class PropagationEngine:
     # -- wave machinery ----------------------------------------------------------
 
     def _start(self, source: "MetadataHandler") -> None:
-        if self._propagating:
-            # A refresh inside a running wave reported a change; queue a
-            # follow-up wave rather than recursing (run-to-completion).
+        with self._mutex:
             self._pending.append(source)
-            return
-        self._propagating = True
+            if self._drainer is not None:
+                # A drain loop is active — either on another thread, or on
+                # this thread below us in the stack (a refresh inside a
+                # running wave reported a change).  The source is already
+                # queued; the drainer is guaranteed to see it because it
+                # only retires inside this mutex after observing an empty
+                # queue.  Run-to-completion is preserved in both cases.
+                return
+            self._drainer = threading.get_ident()
         run = self._run_wave if self.ordered else self._run_naive
         try:
-            run(source)
-            while self._pending:
-                run(self._pending.pop(0))
-        finally:
-            self._propagating = False
+            while True:
+                with self._mutex:
+                    if not self._pending:
+                        # Retire atomically with the emptiness check: a
+                        # concurrent _start either appended before we got
+                        # the mutex (we loop again) or will acquire it
+                        # after us and become the next drainer itself.
+                        self._drainer = None
+                        return
+                    next_source = self._pending.popleft()
+                run(next_source)
+        except BaseException:
+            # A wave escaped (_recompute contains provider failures, so this
+            # is graph-traversal trouble).  Give up the drainer role so the
+            # engine is not wedged; queued sources drain on the next fire.
+            with self._mutex:
+                self._drainer = None
+            raise
 
     def _run_naive(self, source: "MetadataHandler") -> None:
         """Ablation baseline: unordered depth-first recursion (see __init__)."""
@@ -108,7 +153,10 @@ class PropagationEngine:
         """
         depth: dict[int, int] = {id(source): 0}
         handlers: dict[int, "MetadataHandler"] = {id(source): source}
-        order: list[int] = [id(source)]
+        # Relaxation revisits a handler's dependents every time its depth
+        # grows; memoize on_dependency_changed per edge so each reaction
+        # hook runs at most once per wave regardless of revisit count.
+        wants_refresh: dict[tuple[int, int], bool] = {}
         # Repeated relaxation over a DAG; the include machinery rejects
         # cycles, so this terminates.
         frontier: list["MetadataHandler"] = [source]
@@ -116,20 +164,24 @@ class PropagationEngine:
             next_frontier: list["MetadataHandler"] = []
             for handler in frontier:
                 for dependent in handler.dependents():
-                    if not dependent.on_dependency_changed(handler):
+                    edge = (id(handler), id(dependent))
+                    wanted = wants_refresh.get(edge)
+                    if wanted is None:
+                        wanted = bool(dependent.on_dependency_changed(handler))
+                        wants_refresh[edge] = wanted
+                    if not wanted:
                         continue
                     d = depth[id(handler)] + 1
                     if id(dependent) not in depth:
                         depth[id(dependent)] = d
                         handlers[id(dependent)] = dependent
-                        order.append(id(dependent))
                         next_frontier.append(dependent)
                     elif d > depth[id(dependent)]:
                         depth[id(dependent)] = d
                         next_frontier.append(dependent)
             frontier = next_frontier
-        ordered = sorted(set(order), key=lambda h: depth[h])
-        return [handlers[h] for h in ordered]
+        # dict preserves discovery order; the stable sort keeps it for ties.
+        return [handlers[h] for h in sorted(handlers, key=lambda h: depth[h])]
 
     def _run_wave(self, source: "MetadataHandler") -> None:
         self.wave_count += 1
@@ -157,6 +209,12 @@ class PropagationEngine:
         does not abort the wave for its siblings."""
         try:
             return handler.recompute_for_propagation()
+        except MetadataNotIncludedError:
+            # The handler was excluded between wave collection and its turn
+            # to refresh — a normal hazard under concurrent unsubscribe, not
+            # a provider failure.
+            self.suppressed_count += 1
+            return False
         except Exception:  # noqa: BLE001 - contain provider failures
             self.error_count += 1
             return False
@@ -164,10 +222,17 @@ class PropagationEngine:
     # -- introspection ------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Counters for the benchmark harness."""
-        return {
-            "waves": self.wave_count,
-            "refreshes": self.refresh_count,
-            "suppressed": self.suppressed_count,
-            "errors": self.error_count,
-        }
+        """Counter snapshot for the benchmark harness.
+
+        Taken under the engine mutex so the values are mutually consistent
+        with the pending-queue state (counters themselves are only mutated
+        by the drainer thread, whose handoff the mutex orders).
+        """
+        with self._mutex:
+            return {
+                "waves": self.wave_count,
+                "refreshes": self.refresh_count,
+                "suppressed": self.suppressed_count,
+                "errors": self.error_count,
+                "pending": len(self._pending),
+            }

@@ -29,6 +29,7 @@ and global accounting.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.common.clock import Clock
@@ -80,11 +81,16 @@ class MetadataSystem:
         self.propagation = propagation if propagation is not None else PropagationEngine()
         self.structure_lock = self.lock_policy.graph_lock()
         self._registries: list["MetadataRegistry"] = []
+        # Global accounting is guarded by a dedicated mutex rather than the
+        # structure lock so that it stays exact even under NoOpLockPolicy,
+        # and so stats() readers never contend with subscribe traffic.
+        self._accounting_mutex = threading.Lock()
         self.handlers_created = 0
         self.handlers_removed = 0
 
     def register(self, registry: "MetadataRegistry") -> None:
-        self._registries.append(registry)
+        with self._accounting_mutex:
+            self._registries.append(registry)
 
     def unregister(self, registry: "MetadataRegistry") -> None:
         """Forget a registry (runtime query uninstallation).
@@ -96,24 +102,29 @@ class MetadataSystem:
             raise MetadataError(
                 f"cannot unregister {registry!r}: items are still included"
             )
-        try:
-            self._registries.remove(registry)
-        except ValueError:
-            pass
+        with self._accounting_mutex:
+            try:
+                self._registries.remove(registry)
+            except ValueError:
+                pass
 
     def registries(self) -> Sequence["MetadataRegistry"]:
-        return tuple(self._registries)
+        with self._accounting_mutex:
+            return tuple(self._registries)
 
     def handler_created(self, handler: MetadataHandler) -> None:
-        self.handlers_created += 1
+        with self._accounting_mutex:
+            self.handlers_created += 1
 
     def handler_removed(self, handler: MetadataHandler) -> None:
-        self.handlers_removed += 1
+        with self._accounting_mutex:
+            self.handlers_removed += 1
 
     @property
     def included_handler_count(self) -> int:
         """Number of handlers currently alive across all registries."""
-        return self.handlers_created - self.handlers_removed
+        with self._accounting_mutex:
+            return self.handlers_created - self.handlers_removed
 
     def subscribe_all(self) -> list["MetadataSubscription"]:
         """Subscribe to every available item of every registry.
@@ -123,17 +134,20 @@ class MetadataSystem:
         baseline of the query-scalability benchmark (experiment E4).
         """
         subscriptions = []
-        for registry in self._registries:
+        for registry in self.registries():
             for key in registry.available_keys():
                 subscriptions.append(registry.subscribe(key))
         return subscriptions
 
     def stats(self) -> dict:
         """Global accounting snapshot for benchmarks and the profiler."""
+        with self._accounting_mutex:
+            created = self.handlers_created
+            removed = self.handlers_removed
         return {
-            "handlers_created": self.handlers_created,
-            "handlers_removed": self.handlers_removed,
-            "handlers_included": self.included_handler_count,
+            "handlers_created": created,
+            "handlers_removed": removed,
+            "handlers_included": created - removed,
             "periodic_tasks": self.scheduler.active_task_count(),
             **self.propagation.stats(),
         }
@@ -225,35 +239,38 @@ class MetadataRegistry:
         dependencies — as long as the item is not currently included.
         """
         key = definition.key
-        if key in self._definitions and not override:
-            raise DuplicateMetadataError(
-                f"metadata item {key!r} already defined on {self._owner_name()}; "
-                "pass override=True to redefine it"
-            )
-        if key in self._handlers:
-            raise MetadataError(
-                f"cannot redefine {key!r} on {self._owner_name()} while it is included"
-            )
-        self._definitions[key] = definition
+        with self.system.structure_lock.write():
+            if key in self._definitions and not override:
+                raise DuplicateMetadataError(
+                    f"metadata item {key!r} already defined on {self._owner_name()}; "
+                    "pass override=True to redefine it"
+                )
+            if key in self._handlers:
+                raise MetadataError(
+                    f"cannot redefine {key!r} on {self._owner_name()} while it is included"
+                )
+            self._definitions[key] = definition
 
     def undefine(self, key: MetadataKey) -> None:
         """Withdraw a published item (must not be included)."""
-        if key in self._handlers:
-            raise MetadataError(
-                f"cannot undefine {key!r} on {self._owner_name()} while it is included"
-            )
-        if key not in self._definitions:
-            raise UnknownMetadataError(self.owner, key)
-        del self._definitions[key]
+        with self.system.structure_lock.write():
+            if key in self._handlers:
+                raise MetadataError(
+                    f"cannot undefine {key!r} on {self._owner_name()} while it is included"
+                )
+            if key not in self._definitions:
+                raise UnknownMetadataError(self.owner, key)
+            del self._definitions[key]
 
     def add_probe(self, probe: Probe) -> Probe:
         """Register a monitoring probe referenced by definitions' ``monitors``."""
-        if probe.name in self._probes:
-            raise DuplicateMetadataError(
-                f"probe {probe.name!r} already registered on {self._owner_name()}"
-            )
-        self._probes[probe.name] = probe
-        return probe
+        with self.system.structure_lock.write():
+            if probe.name in self._probes:
+                raise DuplicateMetadataError(
+                    f"probe {probe.name!r} already registered on {self._owner_name()}"
+                )
+            self._probes[probe.name] = probe
+            return probe
 
     def probe(self, name: str) -> Probe:
         """Look up a registered probe by name."""
@@ -317,9 +334,16 @@ class MetadataRegistry:
         Used when the state behind an on-demand item changed and dependent
         triggered handlers must refresh immediately.  A no-op when the item
         is not included (nothing can depend on an item without a handler).
+
+        Safe to call from any thread.  The lookup is deliberately lock-free
+        (a single dict read; ``_handlers`` is only mutated under the graph
+        write lock): callers may already hold an item lock, and taking the
+        graph lock here would invert the graph -> item hierarchy.  A handler
+        excluded concurrently is skipped — either here via the ``removed``
+        flag or later by the wave itself.
         """
         handler = self._handlers.get(key)
-        if handler is None:
+        if handler is None or handler.removed:
             return
         self.propagation.event_fired(handler)
 

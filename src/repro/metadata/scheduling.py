@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.clock import Clock, Timer, VirtualClock
@@ -30,10 +31,16 @@ __all__ = ["PeriodicTask", "PeriodicScheduler", "VirtualTimeScheduler", "Threade
 
 
 class PeriodicTask:
-    """Bookkeeping for one periodic handler registered with a scheduler."""
+    """Bookkeeping for one periodic handler registered with a scheduler.
+
+    Under :class:`ThreadedScheduler` the counters (``fire_count``,
+    ``total_lateness``, ``error_count``) and the in-flight markers are
+    mutated only while the scheduler's condition lock is held, so readers
+    using :meth:`ThreadedScheduler.task_snapshot` observe consistent values.
+    """
 
     __slots__ = ("handler", "period", "cancelled", "fire_count", "total_lateness",
-                 "error_count", "_timer", "_seq")
+                 "error_count", "_timer", "_seq", "_running", "_runner")
 
     def __init__(self, handler: "PeriodicHandler", period: float, seq: int) -> None:
         self.handler = handler
@@ -44,6 +51,8 @@ class PeriodicTask:
         self.error_count = 0  # refreshes that raised; the task keeps running
         self._timer: Optional[Timer] = None
         self._seq = seq
+        self._running = False          # a worker is executing the refresh now
+        self._runner: Optional[int] = None  # ident of that worker thread
 
     @property
     def mean_lateness(self) -> float:
@@ -62,8 +71,13 @@ class PeriodicScheduler:
         """Begin refreshing ``handler`` every ``handler.period`` time units."""
         raise NotImplementedError
 
-    def unregister(self, task: PeriodicTask) -> None:
-        """Stop refreshing the task's handler."""
+    def unregister(self, task: PeriodicTask, wait: bool = True) -> None:
+        """Stop refreshing the task's handler.
+
+        With ``wait=True`` (the default) the call also waits for a refresh
+        that is in flight on another worker thread, so that when it returns
+        no new ``periodic_refresh`` for this task can start or be running.
+        """
         raise NotImplementedError
 
     def active_task_count(self) -> int:
@@ -104,7 +118,9 @@ class VirtualTimeScheduler(PeriodicScheduler):
 
         task._timer = self.clock.schedule_at(deadline, fire)
 
-    def unregister(self, task: PeriodicTask) -> None:
+    def unregister(self, task: PeriodicTask, wait: bool = True) -> None:
+        # Virtual time is single-threaded: nothing can be in flight, so
+        # ``wait`` is trivially satisfied.
         if not task.cancelled:
             task.cancelled = True
             if task._timer is not None:
@@ -124,6 +140,11 @@ class ThreadedScheduler(PeriodicScheduler):
     only tasks a single worker would have run next — adding workers is exactly
     the paper's scalability lever, measured by experiment E11.
     """
+
+    #: Backstop for :meth:`unregister`'s in-flight wait — far above any sane
+    #: refresh duration; prevents a pathological compute from hanging
+    #: unsubscription forever.
+    unregister_wait_timeout = 10.0
 
     def __init__(self, clock: Clock, pool_size: int = 1) -> None:
         if pool_size < 1:
@@ -172,16 +193,46 @@ class ThreadedScheduler(PeriodicScheduler):
             self._cond.notify()
         return task
 
-    def unregister(self, task: PeriodicTask) -> None:
+    def unregister(self, task: PeriodicTask, wait: bool = True) -> None:
+        """Cancel ``task``; by default also wait out an in-flight refresh.
+
+        The wait is skipped when the calling thread *is* the worker running
+        the refresh (a handler cancelling itself from its own compute), which
+        would otherwise self-deadlock.  The wait is bounded by
+        ``unregister_wait_timeout`` as a hang backstop; callers must not hold
+        any lock an in-flight refresh could need (in particular, compute
+        functions must never subscribe or cancel subscriptions — see the
+        concurrency model in docs/METADATA_GUIDE.md).
+        """
         with self._cond:
             if not task.cancelled:
                 task.cancelled = True
                 self._active -= 1
                 self._cond.notify_all()
+            if not wait:
+                return
+            me = threading.get_ident()
+            deadline = time.monotonic() + self.unregister_wait_timeout
+            while task._running and task._runner != me:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # backstop: report via repr/debugging, don't hang
+                self._cond.wait(remaining)
 
     def active_task_count(self) -> int:
         with self._cond:
             return self._active
+
+    def task_snapshot(self, task: PeriodicTask) -> dict:
+        """Consistent snapshot of a task's counters (taken under the lock)."""
+        with self._cond:
+            return {
+                "fire_count": task.fire_count,
+                "total_lateness": task.total_lateness,
+                "error_count": task.error_count,
+                "cancelled": task.cancelled,
+                "running": task._running,
+            }
 
     def _worker(self) -> None:
         while True:
@@ -198,17 +249,30 @@ class ThreadedScheduler(PeriodicScheduler):
                         break
                     wait = (self._heap[0][0] - now) if self._heap else None
                     self._cond.wait(wait)
+                # Still inside the critical section of the pop: the lazy-drop
+                # loop above guarantees the task is not cancelled *here*, and
+                # marking it in flight before releasing the lock closes the
+                # old pop-to-fire window — unregister() observes either the
+                # cancellation (no fire) or the running marker (it waits).
+                task._running = True
+                task._runner = threading.get_ident()
+                task.fire_count += 1
+                task.total_lateness += max(0.0, self.clock.now() - deadline)
             # Run the refresh outside the scheduler lock so slow refreshes do
             # not block other workers.
-            if task.cancelled:
-                continue
-            task.fire_count += 1
-            task.total_lateness += max(0.0, self.clock.now() - deadline)
             try:
                 task.handler.periodic_refresh()
             except Exception:  # noqa: BLE001 - a failing item must not kill the pool
-                task.error_count += 1
-            with self._cond:
-                if not task.cancelled and not self._stopped:
-                    heapq.heappush(self._heap, (deadline + task.period, task._seq, task))
-                    self._cond.notify()
+                with self._cond:
+                    task.error_count += 1
+            finally:
+                with self._cond:
+                    task._running = False
+                    task._runner = None
+                    if not task.cancelled and not self._stopped:
+                        heapq.heappush(
+                            self._heap, (deadline + task.period, task._seq, task)
+                        )
+                    # Wake both idle workers (new heap entry) and
+                    # unregister() callers waiting for this run to finish.
+                    self._cond.notify_all()

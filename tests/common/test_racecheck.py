@@ -1,0 +1,94 @@
+"""Tests for the concurrency stress harness itself."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.racecheck import RaceCheck, RaceCheckError, RaceCheckTimeout
+
+
+class TestRaceCheck:
+    def test_runs_all_workers_to_completion(self):
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def work(worker, iteration):
+            with lock:
+                counter["n"] += 1
+
+        reports = RaceCheck(iterations=50).add(work, threads=4).run()
+        assert counter["n"] == 200
+        assert len(reports) == 4
+        assert all(report.iterations == 50 for report in reports)
+        assert all(report.error is None for report in reports)
+
+    def test_worker_indices_are_unique(self):
+        seen = set()
+        lock = threading.Lock()
+
+        def work(worker, iteration):
+            with lock:
+                seen.add(worker)
+
+        RaceCheck(iterations=1).add(work, threads=3).add(work, threads=2).run()
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_worker_exception_fails_the_run(self):
+        def explode(worker, iteration):
+            if iteration == 3:
+                raise ValueError("boom")
+
+        check = RaceCheck(iterations=10).add(explode, threads=2)
+        with pytest.raises(RaceCheckError, match="boom"):
+            check.run()
+
+    def test_failure_stops_other_workers_early(self):
+        progressed = {"n": 0}
+        lock = threading.Lock()
+        tripped = threading.Event()
+
+        def explode(worker, iteration):
+            tripped.set()
+            raise ValueError("boom")
+
+        def plod(worker, iteration):
+            tripped.wait(timeout=5.0)
+            with lock:
+                progressed["n"] += 1
+
+        check = RaceCheck(iterations=10_000, timeout=10.0)
+        check.add(explode, iterations=1)
+        check.add(plod)
+        with pytest.raises(RaceCheckError):
+            check.run()
+        # The surviving worker bailed at an iteration boundary long before
+        # finishing its 10k loop.
+        assert progressed["n"] < 10_000
+
+    def test_deadlock_detected_with_stack_dump(self):
+        lock_a, lock_b = threading.Lock(), threading.Lock()
+        barrier = threading.Barrier(2)
+
+        def grab(first, second):
+            def work(worker, iteration):
+                with first:
+                    barrier.wait(timeout=5.0)
+                    with second:
+                        pass
+
+            return work
+
+        check = RaceCheck(iterations=1, timeout=1.0, name="abba")
+        check.add(grab(lock_a, lock_b), name="ab")
+        check.add(grab(lock_b, lock_a), name="ba")
+        with pytest.raises(RaceCheckTimeout) as excinfo:
+            check.run()
+        # The failure message carries a stack dump naming the stuck workers.
+        assert "abba" in str(excinfo.value)
+        assert "ab" in str(excinfo.value)
+
+    def test_requires_workers(self):
+        with pytest.raises(ValueError):
+            RaceCheck().run()

@@ -215,6 +215,91 @@ class TestMultiThread:
         assert lock.stats.read_contended >= 1
 
 
+class TestTimeoutDeadline:
+    """``timeout`` is a total monotonic deadline, not a per-wait budget:
+    spurious or irrelevant condition wakeups must not extend it."""
+
+    def _holding_writer(self, lock):
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=10.0)
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        assert acquired.wait(timeout=5.0)
+        return release, t
+
+    def _spurious_wakeups(self, lock, stop):
+        """Hammer the lock's condition so every wait round wakes up early."""
+
+        def notifier():
+            while not stop.is_set():
+                with lock._cond:
+                    lock._cond.notify_all()
+                time.sleep(0.005)
+
+        t = threading.Thread(target=notifier, daemon=True)
+        t.start()
+        return t
+
+    def test_read_timeout_bounded_despite_wakeups(self):
+        lock = ReentrantRWLock()
+        release, writer = self._holding_writer(lock)
+        stop = threading.Event()
+        notifier = self._spurious_wakeups(lock, stop)
+        try:
+            start = time.monotonic()
+            assert lock.acquire_read(timeout=0.1) is False
+            elapsed = time.monotonic() - start
+            # Pre-fix, each of the ~20 wakeups restarted the full 0.1s wait,
+            # stretching the call to ~2s (unboundedly, in general).
+            assert elapsed < 1.0
+        finally:
+            stop.set()
+            release.set()
+            writer.join(timeout=5.0)
+            notifier.join(timeout=5.0)
+
+    def test_write_timeout_bounded_despite_wakeups(self):
+        lock = ReentrantRWLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read():
+                acquired.set()
+                release.wait(timeout=10.0)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        assert acquired.wait(timeout=5.0)
+        stop = threading.Event()
+        notifier = self._spurious_wakeups(lock, stop)
+        try:
+            start = time.monotonic()
+            assert lock.acquire_write(timeout=0.1) is False
+            elapsed = time.monotonic() - start
+            assert elapsed < 1.0
+        finally:
+            stop.set()
+            release.set()
+            t.join(timeout=5.0)
+            notifier.join(timeout=5.0)
+
+    def test_timed_out_writer_leaves_lock_usable(self):
+        lock = ReentrantRWLock()
+        release, writer = self._holding_writer(lock)
+        assert lock.acquire_write(timeout=0.05) is False
+        release.set()
+        writer.join(timeout=5.0)
+        with lock.write():
+            assert lock.held_by_current_thread() == "write"
+
+
 class TestLockStats:
     def test_addition(self):
         a = LockStats(read_acquired=1, write_acquired=2, read_contended=3, write_contended=4)

@@ -11,6 +11,7 @@ from repro.metadata.item import (
     NodeDep,
     SelfDep,
 )
+from repro.metadata.propagation import PropagationEngine
 
 A, B, C, D, E = (MetadataKey(k) for k in "abcde")
 
@@ -169,6 +170,103 @@ class TestEngineAccounting:
         clock.advance_by(40.0)  # A updated 4x; B's own period not yet due
         assert counter["n"] == 1  # only the seed computation
         subscription.cancel()
+
+
+class _FakeHandler:
+    """Minimal handler standing in for wave-collection unit tests."""
+
+    def __init__(self, name, reacts=True):
+        self.name = name
+        self.removed = False
+        self.reacts = reacts
+        self.reaction_calls = 0
+        self.recomputes = 0
+        self.dependency_handlers = []
+        self._dependents = []
+
+    def dependents(self):
+        return tuple(self._dependents)
+
+    def depends_on(self, *handlers):
+        for handler in handlers:
+            handler._dependents.append(self)
+            self.dependency_handlers.append((None, handler))
+
+    def on_dependency_changed(self, dependency):
+        self.reaction_calls += 1
+        return self.reacts
+
+    def recompute_for_propagation(self):
+        self.recomputes += 1
+        return True
+
+    @property
+    def propagates_always(self):
+        return False
+
+    def __repr__(self):
+        return f"_FakeHandler({self.name})"
+
+
+class TestWaveCollection:
+    def test_reaction_hook_memoized_per_edge(self):
+        """Longest-path relaxation revisits nodes when depths grow; the
+        on_dependency_changed hook must still run at most once per edge."""
+        engine = PropagationEngine()
+        source = _FakeHandler("src")
+        left = _FakeHandler("left")
+        mid = _FakeHandler("mid")
+        sink = _FakeHandler("sink")
+        # src -> left -> mid -> sink, plus shortcuts src -> mid and
+        # src -> sink: sink's depth is relaxed repeatedly.
+        left.depends_on(source)
+        mid.depends_on(source, left)
+        sink.depends_on(source, mid)
+        engine.value_changed(source)
+        for handler in (left, mid, sink):
+            assert handler.recomputes == 1
+        # Edges: src->left, src->mid, src->sink, left->mid, mid->sink = 5
+        total_calls = left.reaction_calls + mid.reaction_calls + sink.reaction_calls
+        assert total_calls == 5
+
+    def test_wave_order_is_topological(self):
+        engine = PropagationEngine()
+        order = []
+
+        class Recording(_FakeHandler):
+            def recompute_for_propagation(self):
+                order.append(self.name)
+                return super().recompute_for_propagation()
+
+        source = Recording("src")
+        b = Recording("b")
+        c = Recording("c")
+        d = Recording("d")
+        b.depends_on(source)
+        c.depends_on(source, b)
+        d.depends_on(b, c)
+        engine.value_changed(source)
+        assert order == ["b", "c", "d"]
+
+    def test_concurrently_removed_handler_counts_as_suppressed(self):
+        engine = PropagationEngine()
+        source = _FakeHandler("src")
+        dep = _FakeHandler("dep")
+        dep.depends_on(source)
+
+        class Vanishing(_FakeHandler):
+            def recompute_for_propagation(self):
+                from repro.common.errors import MetadataNotIncludedError
+
+                raise MetadataNotIncludedError("removed mid-wave")
+
+        ghost = Vanishing("ghost")
+        ghost.depends_on(source)
+        engine.value_changed(source)
+        stats = engine.stats()
+        assert stats["errors"] == 0
+        assert stats["suppressed"] == 1
+        assert dep.recomputes == 1
 
 
 class TestNestedEvents:

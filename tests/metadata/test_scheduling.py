@@ -170,6 +170,98 @@ class TestThreadedScheduler:
         with pytest.raises(ValueError):
             ThreadedScheduler(SystemClock(), pool_size=0)
 
+    def test_unregister_waits_for_inflight_refresh(self):
+        """After unregister() returns, no refresh is running or can start —
+        the old pop-to-fire window (task popped, cancelled-check not yet
+        done) must be closed."""
+        scheduler = ThreadedScheduler(SystemClock(), pool_size=2)
+        started = threading.Event()
+        state = {"completed": 0, "started": 0}
+
+        class SlowHandler:
+            period = 0.005
+
+            def periodic_refresh(self):
+                state["started"] += 1
+                started.set()
+                time.sleep(0.05)
+                state["completed"] += 1
+
+        with scheduler:
+            task = scheduler.register(SlowHandler())
+            assert started.wait(timeout=5.0)
+            scheduler.unregister(task)
+            # The in-flight refresh finished before unregister returned...
+            assert state["completed"] == state["started"]
+            at_cancel = state["started"]
+            time.sleep(0.05)
+            # ...and nothing started afterwards.
+            assert state["started"] == at_cancel
+        snapshot = scheduler.task_snapshot(task)
+        assert snapshot["cancelled"] is True
+        assert snapshot["running"] is False
+        assert snapshot["fire_count"] == at_cancel
+
+    def test_unregister_without_wait_returns_immediately(self):
+        scheduler = ThreadedScheduler(SystemClock(), pool_size=1)
+        blocked = threading.Event()
+
+        class BlockingHandler:
+            period = 0.001
+
+            def periodic_refresh(self):
+                blocked.set()
+                time.sleep(0.2)
+
+        with scheduler:
+            task = scheduler.register(BlockingHandler())
+            assert blocked.wait(timeout=5.0)
+            start = time.monotonic()
+            scheduler.unregister(task, wait=False)
+            assert time.monotonic() - start < 0.1
+            assert scheduler.active_task_count() == 0
+
+    def test_self_unregister_from_refresh_does_not_deadlock(self):
+        """A handler cancelling its own task from inside its refresh (e.g. a
+        compute deciding it is done) must not wait on itself."""
+        scheduler = ThreadedScheduler(SystemClock(), pool_size=1)
+        done = threading.Event()
+
+        class SelfCancelling:
+            period = 0.001
+            task = None
+
+            def periodic_refresh(self):
+                if self.task is None:
+                    return  # fired before register() returned; next tick
+                scheduler.unregister(self.task)
+                done.set()
+
+        with scheduler:
+            handler = SelfCancelling()
+            handler.task = scheduler.register(handler)
+            assert done.wait(timeout=5.0)
+            assert scheduler.active_task_count() == 0
+
+    def test_task_snapshot_is_consistent(self):
+        scheduler = ThreadedScheduler(SystemClock(), pool_size=1)
+        fired = threading.Event()
+
+        class Handler:
+            period = 0.005
+
+            def periodic_refresh(self):
+                fired.set()
+
+        with scheduler:
+            task = scheduler.register(Handler())
+            assert fired.wait(timeout=5.0)
+            snapshot = scheduler.task_snapshot(task)
+            assert snapshot["fire_count"] >= 1
+            assert snapshot["error_count"] == 0
+            assert snapshot["total_lateness"] >= 0.0
+            scheduler.unregister(task)
+
     def test_stop_is_idempotent(self):
         clock, scheduler, registry = make_system_with_threaded(pool_size=1)
         scheduler.start()

@@ -1,0 +1,256 @@
+"""Concurrency stress tests for the metadata runtime.
+
+Section 3.2.3 requires triggered updates to be "performed in the right
+order" and "synchronized"; Section 4.3 runs periodic refreshes on a pool of
+worker threads.  These tests drive the runtime from many real threads and
+assert the hard invariants:
+
+* **no lost waves** — every ``notify_changed`` / propagating refresh results
+  in exactly one wave (the pre-fix ``PropagationEngine`` dropped waves when
+  two threads raced on its unguarded ``_propagating`` flag);
+* **balanced accounting** — ``handlers_created - handlers_removed`` equals
+  the number of live handlers, probes return to zero activations, and the
+  scheduler ends with zero active tasks;
+* **no deadlock** — everything completes within the harness timeout.
+
+All tests are also marked ``stress`` so CI can re-run them in a loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.clock import SystemClock, VirtualClock
+from repro.common.racecheck import RaceCheck
+from repro.metadata.item import (
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    NodeDep,
+    SelfDep,
+)
+from repro.metadata.locks import FineGrainedLockPolicy
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import ThreadedScheduler, VirtualTimeScheduler
+
+pytestmark = pytest.mark.stress
+
+SRC = MetadataKey("src")
+MID = MetadataKey("mid")
+TOP = MetadataKey("top")
+CHURN = MetadataKey("churn")
+FAST = MetadataKey("fast")
+REMOTE = MetadataKey("remote")
+
+THREADS = 4
+ITERATIONS = 250  # >= 200 per the acceptance criteria
+
+
+class _Owner:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.metadata = None
+
+    def __repr__(self) -> str:
+        return f"_Owner({self.name!r})"
+
+
+def _attach_registry(system: MetadataSystem, name: str) -> _Owner:
+    owner = _Owner(name)
+    owner.metadata = MetadataRegistry(owner, system)
+    return owner
+
+
+class TestNoLostWaves:
+    """The tentpole regression: concurrent event storms must not drop waves.
+
+    Pre-fix, ``PropagationEngine._start`` checked an unguarded
+    ``_propagating`` flag: worker B could append to ``_pending`` after
+    worker A had drained the list but before A cleared the flag, silently
+    discarding B's wave.  (On current CPython the GIL happens to make the
+    check-append and drain-clear windows switch-point free, so the loss is
+    latent there — but it is real on free-threaded builds and under any
+    bytecode/interpreter change.)  This test pins the exact-accounting
+    contract the fixed engine provides — one wave per event, nothing queued
+    after quiescence — which the pre-fix engine cannot even express: it
+    fails this test deterministically.
+    """
+
+    def test_concurrent_notify_changed_accounts_every_wave(self):
+        clock = VirtualClock()
+        system = MetadataSystem(
+            clock,
+            VirtualTimeScheduler(clock),
+            lock_policy=FineGrainedLockPolicy(),
+        )
+        owner = _attach_registry(system, "node")
+        state = {"n": 0}
+        state_lock = threading.Lock()
+
+        def bump(ctx):
+            with state_lock:
+                state["n"] += 1
+                return state["n"]
+
+        owner.metadata.define(MetadataDefinition(SRC, Mechanism.ON_DEMAND, compute=bump))
+        owner.metadata.define(MetadataDefinition(
+            MID, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(SRC),
+            dependencies=[SelfDep(SRC)],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            TOP, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(MID),
+            dependencies=[SelfDep(MID)],
+        ))
+        anchor = owner.metadata.subscribe(TOP)
+
+        check = RaceCheck(iterations=ITERATIONS, timeout=60.0, name="lost-waves")
+        check.add(
+            lambda worker, i: owner.metadata.notify_changed(SRC),
+            threads=THREADS, name="notify",
+        )
+        check.run()
+
+        stats = system.propagation.stats()
+        # Every fired event became exactly one wave: nothing lost, nothing
+        # still queued, no wave ran twice.
+        assert stats["waves"] == THREADS * ITERATIONS
+        assert stats["pending"] == 0
+        assert stats["errors"] == 0
+        anchor.cancel()
+        assert system.included_handler_count == 0
+
+
+class TestMixedWorkloadStress:
+    """Subscribe/unsubscribe churn + event storms + a threaded worker pool."""
+
+    def test_pool_of_four_with_churn_and_events(self):
+        clock = SystemClock()
+        scheduler = ThreadedScheduler(clock, pool_size=4)
+        system = MetadataSystem(
+            clock, scheduler, lock_policy=FineGrainedLockPolicy()
+        )
+        node_a = _attach_registry(system, "a")
+        node_b = _attach_registry(system, "b")
+
+        state = {"n": 0}
+        state_lock = threading.Lock()
+
+        def bump(ctx):
+            with state_lock:
+                state["n"] += 1
+                return state["n"]
+
+        node_a.metadata.define(MetadataDefinition(SRC, Mechanism.ON_DEMAND, compute=bump))
+        node_a.metadata.define(MetadataDefinition(
+            MID, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(SRC),
+            dependencies=[SelfDep(SRC)],
+        ))
+        node_a.metadata.define(MetadataDefinition(
+            TOP, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(MID),
+            dependencies=[SelfDep(MID)],
+        ))
+        node_a.metadata.define(MetadataDefinition(
+            CHURN, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(SRC),
+            dependencies=[SelfDep(SRC)],
+        ))
+        node_a.metadata.define(MetadataDefinition(
+            FAST, Mechanism.PERIODIC, period=0.002, compute=lambda ctx: ctx.now,
+        ))
+        node_b.metadata.define(MetadataDefinition(
+            REMOTE, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(TOP),
+            dependencies=[NodeDep(node_a, TOP)],
+        ))
+
+        notify_total = 2 * ITERATIONS
+
+        def notify(worker, i):
+            node_a.metadata.notify_changed(SRC)
+
+        def churn(worker, i):
+            subscription = node_a.metadata.subscribe(CHURN)
+            subscription.get()
+            subscription.cancel()
+
+        def read(worker, i):
+            anchor_remote.get()
+
+        with scheduler:
+            anchor_remote = node_b.metadata.subscribe(REMOTE)
+            anchor_fast = node_a.metadata.subscribe(FAST)
+            check = RaceCheck(iterations=ITERATIONS, timeout=60.0, name="mixed")
+            check.add(notify, threads=2)
+            check.add(churn, threads=2)
+            check.add(read, threads=2)
+            check.run()
+
+            fast_task = anchor_fast.handler._task
+            anchor_fast.cancel()  # waits out any in-flight periodic refresh
+            fired = scheduler.task_snapshot(fast_task)["fire_count"]
+            anchor_remote.cancel()
+
+        stats = system.stats()
+        # Handler accounting balances exactly once everything is cancelled.
+        assert stats["handlers_included"] == 0
+        assert stats["handlers_created"] == stats["handlers_removed"]
+        # Churn created fresh handlers whenever no other subscription was
+        # live (overlapping subscribes share one handler, so the count is
+        # below 2 x ITERATIONS — but far above the 6 base handlers).
+        assert stats["handlers_created"] > 6
+        assert stats["periodic_tasks"] == 0
+        assert stats["pending"] == 0
+        # Wave accounting: one wave per notify_changed, plus one per periodic
+        # refresh that propagated.  At most one in-flight periodic refresh
+        # can have been skipped by the removal flag at cancel time.
+        assert notify_total + fired - 1 <= stats["waves"] <= notify_total + fired
+        assert stats["errors"] == 0
+
+
+class TestSchedulerCancelRace:
+    """A task cancelled while (or just before) firing must never refresh
+    after ``unregister`` / ``subscription.cancel()`` returns.
+
+    The compute sleeps longer than the period, so a refresh is essentially
+    always in flight when ``cancel()`` lands.  Pre-fix, ``unregister`` did
+    not wait for in-flight work, so the refresh completed *after* cancel
+    returned and this failed on every round; post-fix ``cancel()`` blocks
+    until the in-flight refresh is done.
+    """
+
+    def test_no_fire_after_cancel_returns(self):
+        clock = SystemClock()
+        scheduler = ThreadedScheduler(clock, pool_size=4)
+        system = MetadataSystem(
+            clock, scheduler, lock_policy=FineGrainedLockPolicy()
+        )
+        owner = _attach_registry(system, "node")
+        fires: list[int] = []
+        fires_lock = threading.Lock()
+
+        def record(ctx):
+            # Sleep first: an in-flight refresh that survives cancel() will
+            # record its fire only after cancel() has returned.
+            threading.Event().wait(0.005)
+            with fires_lock:
+                fires.append(1)
+            return len(fires)
+
+        owner.metadata.define(MetadataDefinition(
+            FAST, Mechanism.PERIODIC, period=0.001, compute=record,
+        ))
+        with scheduler:
+            for _ in range(25):
+                subscription = owner.metadata.subscribe(FAST)
+                # Let it fire at least once, racing cancel against the pool.
+                threading.Event().wait(0.003)
+                subscription.cancel()
+                with fires_lock:
+                    count_at_cancel = len(fires)
+                threading.Event().wait(0.01)
+                with fires_lock:
+                    assert len(fires) == count_at_cancel, (
+                        "periodic refresh fired after cancel() returned"
+                    )
+        assert scheduler.active_task_count() == 0
+        assert system.included_handler_count == 0
