@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Telemetry overhead gate — disabled hooks must cost (almost) nothing.
+
+The telemetry layer promises the paper's probe discipline (Section 4.4.1)
+for the runtime itself: while disabled, every instrumentation hook reduces
+to a single ``telemetry is None`` check.  This benchmark *enforces* that
+promise in CI by timing triggered-propagation waves through three engines:
+
+* ``nohooks``  — a :class:`PropagationEngine` subclass whose ``_start`` /
+  ``_run_wave`` are verbatim copies of the pre-telemetry bodies (no hook
+  code exists at all): the true baseline;
+* ``disabled`` — the stock engine with telemetry detached (the shipped
+  default); and
+* ``enabled``  — the stock engine with a live telemetry hub, for context
+  (not gated: capturing events legitimately costs time).
+
+Rounds are interleaved (nohooks, disabled, enabled, nohooks, ...) so clock
+drift and cache warmth hit all three equally, and each configuration is
+scored by its best round — the standard minimum-timing estimator for
+noise-prone CI boxes.
+
+Usage::
+
+    python benchmarks/bench_telemetry_overhead.py --check \
+        --output BENCH_telemetry.json
+
+``--check`` exits non-zero when the disabled-vs-nohooks overhead exceeds
+the gate (default 3%).  The JSON report is uploaded as a CI artifact.
+
+The module is a standalone script on purpose — it is not collected by the
+tier-1 pytest run (``testpaths = ["tests"]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.clock import VirtualClock
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.metadata.propagation import PropagationEngine
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+CHAIN_DEPTH = 16
+WAVES_PER_ROUND = 1500
+ROUNDS = 5
+DEFAULT_THRESHOLD_PCT = 3.0
+
+SRC = MetadataKey("bench.src")
+
+
+class NoHooksEngine(PropagationEngine):
+    """The pre-telemetry propagation engine, byte-for-byte.
+
+    ``_start``/``_run_wave`` are the exact bodies the engine had before the
+    telemetry hooks landed (queue entries are bare sources, no span ids, no
+    ``tel`` checks), so timing it answers "what would waves cost if the
+    hook code did not exist?".
+    """
+
+    def _start(self, source) -> None:
+        with self._mutex:
+            self._pending.append(source)
+            if self._drainer is not None:
+                return
+            self._drainer = threading.get_ident()
+        run = self._run_wave if self.ordered else self._run_naive
+        try:
+            while True:
+                with self._mutex:
+                    if not self._pending:
+                        self._drainer = None
+                        return
+                    next_source = self._pending.popleft()
+                run(next_source)
+        except BaseException:
+            with self._mutex:
+                self._drainer = None
+            raise
+
+    def _run_wave(self, source, span: int = 0) -> None:
+        self.wave_count += 1
+        wave = self._collect_wave(source)
+        changed_ids = {id(source)}
+        in_wave = {id(h) for h in wave}
+        for handler in wave[1:]:
+            if handler.removed:
+                continue
+            inputs_changed = any(
+                id(dep) in changed_ids
+                for _, dep in handler.dependency_handlers
+                if id(dep) in in_wave
+            )
+            if not inputs_changed:
+                self.suppressed_count += 1
+                continue
+            self.refresh_count += 1
+            if self._recompute(handler):
+                changed_ids.add(id(handler))
+
+
+class Owner:
+    """Minimal registry owner (no query graph needed for pure waves)."""
+
+    name = "bench"
+
+
+def build_workload(engine: PropagationEngine):
+    """One registry, an on-demand source and a CHAIN_DEPTH triggered chain.
+
+    Every ``notify_changed(SRC)`` starts a wave that refreshes the whole
+    chain (values strictly increase, so nothing is suppressed) — the
+    hottest path the instrumentation touches.
+    """
+    clock = VirtualClock()
+    system = MetadataSystem(clock, VirtualTimeScheduler(clock),
+                            propagation=engine)
+    owner = Owner()
+    registry = MetadataRegistry(owner, system)
+    state = {"value": 0}
+    registry.define(MetadataDefinition(
+        SRC, Mechanism.ON_DEMAND, compute=lambda ctx: state["value"],
+    ))
+    previous = SRC
+    for i in range(CHAIN_DEPTH):
+        key = MetadataKey(f"bench.t{i}")
+        registry.define(MetadataDefinition(
+            key, Mechanism.TRIGGERED,
+            compute=lambda ctx, dep=previous: ctx.value(dep) + 1,
+            dependencies=[SelfDep(previous)],
+        ))
+        previous = key
+    subscription = registry.subscribe(previous)
+    return registry, state, subscription
+
+
+def run_round(registry, state, waves: int) -> float:
+    """Time ``waves`` full propagation waves; returns seconds."""
+    notify = registry.notify_changed
+    t0 = time.perf_counter()
+    for _ in range(waves):
+        state["value"] += 1
+        notify(SRC)
+    return time.perf_counter() - t0
+
+
+def measure(threshold_pct: float) -> dict:
+    setups = {
+        "nohooks": lambda: build_workload(NoHooksEngine()),
+        "disabled": lambda: build_workload(PropagationEngine()),
+        "enabled": None,  # built below (needs enable_telemetry)
+    }
+
+    def build_enabled():
+        registry, state, sub = build_workload(PropagationEngine())
+        # Large buffer so ring-drop accounting does not dominate the
+        # enabled measurement.
+        registry.system.enable_telemetry(capacity=65536)
+        return registry, state, sub
+
+    setups["enabled"] = build_enabled
+
+    workloads = {name: setup() for name, setup in setups.items()}
+    # Warmup: one short burst per engine so allocator and bytecode caches
+    # are hot before the first timed round.
+    for registry, state, _ in workloads.values():
+        run_round(registry, state, 100)
+
+    timings: dict[str, list[float]] = {name: [] for name in workloads}
+    for _ in range(ROUNDS):
+        for name, (registry, state, _) in workloads.items():
+            timings[name].append(run_round(registry, state, WAVES_PER_ROUND))
+
+    best = {name: min(rounds) for name, rounds in timings.items()}
+    overhead_disabled_pct = 100.0 * (best["disabled"] - best["nohooks"]) / best["nohooks"]
+    overhead_enabled_pct = 100.0 * (best["enabled"] - best["nohooks"]) / best["nohooks"]
+
+    # Sanity: all three engines did identical propagation work.
+    stats = {name: wl[0].system.stats() for name, wl in workloads.items()}
+    work_keys = ("waves", "refreshes", "suppressed", "errors")
+    consistent = len({tuple(s[k] for k in work_keys) for s in stats.values()}) == 1
+
+    return {
+        "benchmark": "telemetry_overhead",
+        "chain_depth": CHAIN_DEPTH,
+        "waves_per_round": WAVES_PER_ROUND,
+        "rounds": ROUNDS,
+        "threshold_pct": threshold_pct,
+        "seconds_best": best,
+        "seconds_all_rounds": timings,
+        "waves_per_second_best": {
+            name: WAVES_PER_ROUND / seconds for name, seconds in best.items()
+        },
+        "overhead_disabled_pct": overhead_disabled_pct,
+        "overhead_enabled_pct": overhead_enabled_pct,
+        "work_consistent": consistent,
+        "passed": consistent and overhead_disabled_pct <= threshold_pct,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_telemetry.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the disabled-telemetry "
+                             "overhead exceeds the threshold")
+    parser.add_argument("--threshold-pct", type=float,
+                        default=DEFAULT_THRESHOLD_PCT,
+                        help="maximum tolerated disabled-hook overhead "
+                             "(percent, default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    result = measure(args.threshold_pct)
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"telemetry overhead benchmark "
+          f"({CHAIN_DEPTH}-deep chain, {WAVES_PER_ROUND} waves/round, "
+          f"best of {ROUNDS})")
+    for name in ("nohooks", "disabled", "enabled"):
+        print(f"  {name:<9} {result['seconds_best'][name] * 1e3:8.2f} ms  "
+              f"({result['waves_per_second_best'][name]:,.0f} waves/s)")
+    print(f"  disabled-hook overhead: {result['overhead_disabled_pct']:+.2f}% "
+          f"(gate: {args.threshold_pct:.1f}%)")
+    print(f"  enabled-capture overhead: {result['overhead_enabled_pct']:+.2f}% "
+          f"(informational)")
+    print(f"  report: {args.output}")
+
+    if args.check and not result["passed"]:
+        reason = ("engines disagreed on propagation work"
+                  if not result["work_consistent"]
+                  else "disabled-telemetry overhead exceeds the gate")
+        print(f"FAIL: {reason}", file=sys.stderr)
+        return 1
+    print("PASS" if result["passed"] else "(informational run, no --check)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

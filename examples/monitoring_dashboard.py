@@ -10,6 +10,11 @@ periodically, and renders both time series as ASCII charts.  The estimate is
 a triggered item that refreshes itself through the dependency graph whenever
 the measured stream rates change — no polling logic anywhere in this file.
 
+The run also enables the telemetry layer (:mod:`repro.telemetry`): the
+closing sections show the aggregated runtime metrics and answer the
+Figure-3 question "why did the join's CPU estimate refresh?" from the
+captured wave trace.
+
 Run with::
 
     python examples/monitoring_dashboard.py
@@ -30,6 +35,8 @@ from repro import (
     TimeWindow,
     UniformValues,
     catalogue as md,
+    explain_refresh,
+    render_dashboard,
 )
 
 
@@ -59,6 +66,7 @@ def build_plan() -> tuple[QueryGraph, list[StreamDriver], SlidingWindowJoin]:
 
 def main() -> None:
     graph, drivers, join = build_plan()
+    telemetry = graph.metadata_system.enable_telemetry(capacity=16384)
 
     profiler = MetadataProfiler()
     profiler.watch(join, md.EST_CPU_USAGE, label="estimated CPU usage")
@@ -86,6 +94,11 @@ def main() -> None:
         print(f"mean estimated/measured CPU ratio: {mean_ratio:.3f} "
               f"over {len(pairs)} samples")
     print(f"propagation stats: {graph.metadata_system.propagation.stats()}")
+
+    print()
+    print(render_dashboard(telemetry))
+    print()
+    print(explain_refresh(telemetry, join, md.EST_CPU_USAGE))
     profiler.close()
 
 

@@ -105,6 +105,11 @@ from repro.runtime import (
     SimulationExecutor,
     ThreadedExecutor,
 )
+from repro.telemetry import (
+    Telemetry,
+    explain_refresh,
+    render_dashboard,
+)
 from repro.sources import (
     BurstyArrivals,
     ConstantRate,
@@ -148,6 +153,8 @@ __all__ = [
     # adaptation
     "MetadataProfiler", "AdaptiveResourceManager", "LoadShedder", "Shedder",
     "PlanMigrationAdvisor", "QoSMonitor",
+    # telemetry
+    "Telemetry", "render_dashboard", "explain_refresh",
     # common
     "Clock", "VirtualClock", "SystemClock", "ReentrantRWLock", "ReproError",
 ]

@@ -10,10 +10,11 @@ dynamic metadata precisely because they drift.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Iterable, Sequence
 
-__all__ = ["EquiWidthHistogram", "HistogramBuilder"]
+__all__ = ["EquiWidthHistogram", "FixedBoundHistogram", "HistogramBuilder"]
 
 
 class EquiWidthHistogram:
@@ -146,6 +147,81 @@ class EquiWidthHistogram:
         return (
             f"EquiWidthHistogram([{self.low:g}, {self.high:g}], "
             f"buckets={self.buckets}, total={self.total})"
+        )
+
+
+class FixedBoundHistogram:
+    """Cumulative histogram over fixed upper bucket bounds.
+
+    Unlike :class:`EquiWidthHistogram` (an adaptive-range *value summary*
+    rebuilt per metadata period), this is a *measurement accumulator* in the
+    Prometheus mould: bounds are chosen once, observations are O(log buckets),
+    and the bucket semantics are cumulative-inclusive (an observation lands
+    in the first bucket whose bound is ``>= value``; values above the last
+    bound land in the implicit ``+Inf`` bucket).  The telemetry metrics
+    registry uses it for durations, latencies and wave sizes.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        cleaned = tuple(float(b) for b in bounds)
+        if any(b2 <= b1 for b1, b2 in zip(cleaned, cleaned[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = cleaned
+        self.counts = [0] * (len(cleaned) + 1)  # last slot: +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with ``+Inf``.
+
+        This is exactly the ``le`` series of the Prometheus text format.
+        """
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (bucket upper bound; ``+Inf`` capped to
+        the last finite bound).  0.0 with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            if running >= target:
+                return bound
+        return self.bounds[-1]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FixedBoundHistogram(buckets={len(self.bounds) + 1}, "
+            f"count={self.count}, sum={self.sum:g})"
         )
 
 

@@ -23,6 +23,7 @@ Four concrete handler types implement Figure 2's maintenance concepts:
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.common.errors import HandlerError, MetadataNotIncludedError
@@ -33,6 +34,7 @@ from repro.metadata.item import (
     MetadataDefinition,
     MetadataKey,
 )
+from repro.telemetry.events import HandlerRefresh, key_of, node_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.registry import MetadataRegistry
@@ -143,8 +145,14 @@ class MetadataHandler:
     def refresh(self) -> None:
         """Recompute the value now and propagate to dependents."""
         self._ensure_included()
+        tel = self.registry.system.telemetry
+        t0 = time.monotonic() if tel is not None else 0.0
         with self._lock.write():
             changed = self._store(self._compute())
+        if tel is not None:
+            tel.emit(HandlerRefresh(node=node_of(self), key=key_of(self.key),
+                                    changed=changed,
+                                    duration=time.monotonic() - t0))
         # Re-check after releasing the item lock: a concurrent exclusion that
         # won the race gets a quiet exit instead of a post-removal wave.
         if self.removed:

@@ -60,9 +60,12 @@ def describe_registry(registry: MetadataRegistry) -> dict:
 
 
 def describe_system(system: MetadataSystem) -> dict:
-    """Snapshot of every registry plus global accounting."""
+    """Snapshot of every registry plus global accounting and telemetry."""
+    telemetry = system.telemetry
     return {
         "stats": system.stats(),
+        "telemetry": telemetry.describe() if telemetry is not None
+        else {"enabled": False},
         "registries": [describe_registry(r) for r in system.registries()],
     }
 

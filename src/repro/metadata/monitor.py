@@ -14,11 +14,16 @@ Activation is reference-counted because several items may share one probe
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import threading
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.common.clock import Clock
 from repro.common.errors import MetadataError
 from repro.common.stats import WindowedCounter
+from repro.telemetry.events import ProbeActivated, ProbeDeactivated
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metadata.registry import MetadataSystem
 
 __all__ = ["Probe", "CounterProbe", "GaugeProbe", "RateProbe", "CostProbe", "MeanProbe"]
 
@@ -30,28 +35,62 @@ class Probe:
     whatever recording methods the operator calls from its hot path; every
     recording method must early-return when :attr:`active` is false so that
     unobserved metadata costs (almost) nothing.
+
+    Activation reference counting is guarded by a lock: subscriptions from
+    different threads may include/exclude items sharing one probe
+    concurrently, and an unguarded ``count += 1`` would lose activations
+    (leaving a probe inactive while metadata depends on it) or double-run
+    the activation hooks.  The hot-path ``active`` check stays lock-free —
+    it is a plain boolean read, flipped only under the lock.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.active = False
         self._activation_count = 0
+        self._mutex = threading.Lock()
+        self._system: "MetadataSystem | None" = None
+        self._owner_name = ""
+
+    def bind_system(self, system: "MetadataSystem", owner_name: str) -> None:
+        """Attach the owning system (set by ``MetadataRegistry.add_probe``)
+        so activation transitions can be traced when telemetry is enabled."""
+        self._system = system
+        self._owner_name = owner_name
 
     def activate(self) -> None:
-        """Reference-counted activation."""
-        self._activation_count += 1
-        if self._activation_count == 1:
-            self.active = True
-            self._on_activate()
+        """Reference-counted activation.  Thread-safe."""
+        with self._mutex:
+            self._activation_count += 1
+            count = self._activation_count
+            if count == 1:
+                self.active = True
+                self._on_activate()
+        if count == 1:
+            system = self._system
+            tel = system.telemetry if system is not None else None
+            if tel is not None:
+                tel.emit(ProbeActivated(node=self._owner_name, name=self.name,
+                                        count=count))
 
     def deactivate(self) -> None:
-        """Reference-counted deactivation; raises when not active."""
-        if self._activation_count == 0:
-            raise MetadataError(f"probe {self.name!r} deactivated more than activated")
-        self._activation_count -= 1
-        if self._activation_count == 0:
-            self.active = False
-            self._on_deactivate()
+        """Reference-counted deactivation; raises when not active.  Thread-safe."""
+        with self._mutex:
+            if self._activation_count == 0:
+                raise MetadataError(
+                    f"probe {self.name!r} deactivated more than activated"
+                )
+            self._activation_count -= 1
+            count = self._activation_count
+            if count == 0:
+                self.active = False
+                self._on_deactivate()
+        if count == 0:
+            system = self._system
+            tel = system.telemetry if system is not None else None
+            if tel is not None:
+                tel.emit(ProbeDeactivated(node=self._owner_name, name=self.name,
+                                          count=count))
 
     def _on_activate(self) -> None:
         """Hook: reset gathering state when monitoring begins."""
@@ -122,9 +161,12 @@ class RateProbe(CounterProbe):
     def unsafe_rate_and_reset(self) -> float:
         """The Figure 4 anti-pattern: compute rate since last access and reset.
 
-        Two consumers calling this interleaved destroy each other's window.
+        The *computation* is identical to :meth:`rate_and_reset` — what makes
+        it unsafe is the calling pattern: two consumers calling this
+        interleaved destroy each other's window.  Kept as a named alias so
+        the experiment code documents intent at the call site.
         """
-        return self.window.rate_and_reset(self._clock.now())
+        return self.rate_and_reset()
 
     def unsafe_peek_rate(self) -> float:
         return self.window.peek_rate(self._clock.now())

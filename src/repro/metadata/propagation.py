@@ -50,13 +50,26 @@ original single-threaded run-to-completion semantics.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.common.errors import MetadataNotIncludedError
+from repro.telemetry.events import (
+    DrainHandoff,
+    WaveEnd,
+    WaveEnqueued,
+    WaveHop,
+    WaveRefresh,
+    WaveStart,
+    WaveSuppressed,
+    key_of,
+    node_of,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.handler import MetadataHandler
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["PropagationEngine"]
 
@@ -82,8 +95,15 @@ class PropagationEngine:
         self.refresh_count = 0
         self.suppressed_count = 0  # dependents skipped because inputs were unchanged
         self.error_count = 0       # recomputes that raised (handler keeps old value)
+        #: Telemetry hub attached by ``MetadataSystem.enable_telemetry``;
+        #: ``None`` keeps every hook below to a single local-variable check.
+        self.telemetry: "Telemetry | None" = None
         self._mutex = threading.Lock()
-        self._pending: deque["MetadataHandler"] = deque()
+        # Queue entries are ``(source, span)``: the causal span id is
+        # allocated when the change is *enqueued* (span 0 = telemetry off)
+        # and travels with the wave so every hop/refresh it causes can be
+        # traced back to the triggering event.
+        self._pending: deque[tuple["MetadataHandler", int]] = deque()
         self._drainer: int | None = None  # ident of the thread running waves
 
     # -- public entry points -------------------------------------------------
@@ -99,17 +119,27 @@ class PropagationEngine:
     # -- wave machinery ----------------------------------------------------------
 
     def _start(self, source: "MetadataHandler") -> None:
+        tel = self.telemetry
+        span = tel.bus.new_span() if tel is not None else 0
         with self._mutex:
-            self._pending.append(source)
-            if self._drainer is not None:
-                # A drain loop is active — either on another thread, or on
-                # this thread below us in the stack (a refresh inside a
-                # running wave reported a change).  The source is already
-                # queued; the drainer is guaranteed to see it because it
-                # only retires inside this mutex after observing an empty
-                # queue.  Run-to-completion is preserved in both cases.
-                return
-            self._drainer = threading.get_ident()
+            self._pending.append((source, span))
+            depth = len(self._pending)
+            acquired = self._drainer is None
+            if acquired:
+                self._drainer = threading.get_ident()
+        if tel is not None:
+            tel.emit(WaveEnqueued(span=span, node=node_of(source),
+                                  key=key_of(source.key), pending=depth))
+            if acquired:
+                tel.emit(DrainHandoff(span=span, acquired=True, pending=depth))
+        if not acquired:
+            # A drain loop is active — either on another thread, or on
+            # this thread below us in the stack (a refresh inside a
+            # running wave reported a change).  The source is already
+            # queued; the drainer is guaranteed to see it because it
+            # only retires inside this mutex after observing an empty
+            # queue.  Run-to-completion is preserved in both cases.
+            return
         run = self._run_wave if self.ordered else self._run_naive
         try:
             while True:
@@ -120,9 +150,11 @@ class PropagationEngine:
                         # the mutex (we loop again) or will acquire it
                         # after us and become the next drainer itself.
                         self._drainer = None
-                        return
-                    next_source = self._pending.popleft()
-                run(next_source)
+                        break
+                    next_source, next_span = self._pending.popleft()
+                run(next_source, next_span)
+            if tel is not None:
+                tel.emit(DrainHandoff(acquired=False, pending=0))
         except BaseException:
             # A wave escaped (_recompute contains provider failures, so this
             # is graph-traversal trouble).  Give up the drainer role so the
@@ -131,8 +163,12 @@ class PropagationEngine:
                 self._drainer = None
             raise
 
-    def _run_naive(self, source: "MetadataHandler") -> None:
-        """Ablation baseline: unordered depth-first recursion (see __init__)."""
+    def _run_naive(self, source: "MetadataHandler", span: int = 0) -> None:
+        """Ablation baseline: unordered depth-first recursion (see __init__).
+
+        Deliberately untraced beyond the wave count — it exists only as the
+        experiment-E12 baseline, not as an operable configuration.
+        """
         self.wave_count += 1
         self._recurse_naive(source)
 
@@ -183,26 +219,85 @@ class PropagationEngine:
         # dict preserves discovery order; the stable sort keeps it for ties.
         return [handlers[h] for h in sorted(handlers, key=lambda h: depth[h])]
 
-    def _run_wave(self, source: "MetadataHandler") -> None:
+    def _run_wave(self, source: "MetadataHandler", span: int = 0) -> None:
         self.wave_count += 1
+        tel = self.telemetry
         wave = self._collect_wave(source)
         changed_ids = {id(source)}
         in_wave = {id(h) for h in wave}
+        if tel is not None:
+            refreshed = suppressed = errors = 0
+            wave_t0 = time.monotonic()
+            tel.emit(WaveStart(span=span, node=node_of(source),
+                               key=key_of(source.key), wave_size=len(wave)))
         for handler in wave[1:]:  # skip the source itself
             if handler.removed:
+                if tel is not None:
+                    tel.emit(WaveSuppressed(span=span, node=node_of(handler),
+                                            key=key_of(handler.key),
+                                            reason="removed"))
                 continue
             # Refresh only when an in-wave dependency actually changed.
-            inputs_changed = any(
-                id(dep) in changed_ids
-                for _, dep in handler.dependency_handlers
-                if id(dep) in in_wave
-            )
+            if tel is None:
+                inputs_changed = any(
+                    id(dep) in changed_ids
+                    for _, dep in handler.dependency_handlers
+                    if id(dep) in in_wave
+                )
+            else:
+                # Traced variant: materialize the changed edges so each
+                # dependency hop the wave crossed is in the span.
+                changed_deps = [
+                    dep for _, dep in handler.dependency_handlers
+                    if id(dep) in in_wave and id(dep) in changed_ids
+                ]
+                inputs_changed = bool(changed_deps)
+                for dep in changed_deps:
+                    tel.emit(WaveHop(span=span,
+                                     from_node=node_of(dep),
+                                     from_key=key_of(dep.key),
+                                     to_node=node_of(handler),
+                                     to_key=key_of(handler.key)))
             if not inputs_changed:
                 self.suppressed_count += 1
+                if tel is not None:
+                    suppressed += 1
+                    tel.emit(WaveSuppressed(span=span, node=node_of(handler),
+                                            key=key_of(handler.key),
+                                            reason="unchanged-inputs"))
                 continue
             self.refresh_count += 1
-            if self._recompute(handler):
+            if tel is None:
+                if self._recompute(handler):
+                    changed_ids.add(id(handler))
+                continue
+            # Traced recompute: counters are drainer-private (see __init__),
+            # so before/after deltas attribute errors and concurrent-exclude
+            # suppressions to this handler without changing the accounting.
+            errors_before = self.error_count
+            suppressed_before = self.suppressed_count
+            t0 = time.monotonic()
+            changed = self._recompute(handler)
+            duration = time.monotonic() - t0
+            if self.suppressed_count > suppressed_before:
+                suppressed += 1
+                tel.emit(WaveSuppressed(span=span, node=node_of(handler),
+                                        key=key_of(handler.key),
+                                        reason="excluded"))
+                continue
+            error = self.error_count > errors_before
+            refreshed += 1
+            if error:
+                errors += 1
+            tel.emit(WaveRefresh(span=span, node=node_of(handler),
+                                 key=key_of(handler.key), changed=changed,
+                                 error=error, duration=duration))
+            if changed:
                 changed_ids.add(id(handler))
+        if tel is not None:
+            tel.emit(WaveEnd(span=span, refreshed=refreshed,
+                             suppressed=suppressed, errors=errors,
+                             duration=time.monotonic() - wave_t0))
 
     def _recompute(self, handler: "MetadataHandler") -> bool:
         """Best-effort recompute: a failing provider keeps its old value and

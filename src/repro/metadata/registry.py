@@ -56,6 +56,16 @@ from repro.metadata.locks import LockPolicy, NoOpLockPolicy
 from repro.metadata.monitor import Probe
 from repro.metadata.propagation import PropagationEngine
 from repro.metadata.scheduling import PeriodicScheduler
+from repro.telemetry.events import (
+    ExcludeEvent,
+    HandlerCreated,
+    HandlerRetired,
+    IncludeEvent,
+    SubscribeEvent,
+    UnsubscribeEvent,
+    key_of,
+)
+from repro.telemetry.hub import Telemetry
 
 __all__ = ["MetadataSystem", "MetadataRegistry", "MetadataSubscription"]
 
@@ -80,6 +90,11 @@ class MetadataSystem:
         self.lock_policy = lock_policy if lock_policy is not None else NoOpLockPolicy()
         self.propagation = propagation if propagation is not None else PropagationEngine()
         self.structure_lock = self.lock_policy.graph_lock()
+        #: Off-by-default observability (see :mod:`repro.telemetry`).  While
+        #: ``None``, every instrumentation hook in the runtime is a single
+        #: ``is None`` check — the paper's probe discipline (Section 4.4.1)
+        #: applied to the runtime itself.
+        self.telemetry: Telemetry | None = None
         self._registries: list["MetadataRegistry"] = []
         # Global accounting is guarded by a dedicated mutex rather than the
         # structure lock so that it stays exact even under NoOpLockPolicy,
@@ -112,13 +127,48 @@ class MetadataSystem:
         with self._accounting_mutex:
             return tuple(self._registries)
 
+    def enable_telemetry(self, capacity: int = 4096) -> Telemetry:
+        """Attach (or return the already-attached) telemetry hub.
+
+        Wires the hub into the propagation engine and the scheduler so their
+        hot-path hooks see it through one attribute; registries and handlers
+        reach it via ``system.telemetry``.  Idempotent.
+        """
+        if self.telemetry is None:
+            telemetry = Telemetry(self.clock, capacity)
+            self.telemetry = telemetry
+            self.propagation.telemetry = telemetry
+            self.scheduler.telemetry = telemetry
+        return self.telemetry
+
+    def disable_telemetry(self) -> Telemetry | None:
+        """Detach the telemetry hub; hooks revert to zero-cost no-ops.
+
+        Returns the detached hub so captured traces/metrics stay readable.
+        """
+        telemetry = self.telemetry
+        self.telemetry = None
+        self.propagation.telemetry = None
+        self.scheduler.telemetry = None
+        return telemetry
+
     def handler_created(self, handler: MetadataHandler) -> None:
         with self._accounting_mutex:
             self.handlers_created += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.emit(HandlerCreated(node=handler.registry._owner_name(),
+                                    key=key_of(handler.key),
+                                    mechanism=handler.mechanism.value))
 
     def handler_removed(self, handler: MetadataHandler) -> None:
         with self._accounting_mutex:
             self.handlers_removed += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.emit(HandlerRetired(node=handler.registry._owner_name(),
+                                    key=key_of(handler.key),
+                                    mechanism=handler.mechanism.value))
 
     @property
     def included_handler_count(self) -> int:
@@ -270,6 +320,7 @@ class MetadataRegistry:
                     f"probe {probe.name!r} already registered on {self._owner_name()}"
                 )
             self._probes[probe.name] = probe
+            probe.bind_system(self.system, self._owner_name())
             return probe
 
     def probe(self, name: str) -> Probe:
@@ -314,15 +365,27 @@ class MetadataRegistry:
 
     def subscribe(self, key: MetadataKey) -> MetadataSubscription:
         """Subscribe to a metadata item; include it and its dependency closure."""
+        tel = self.system.telemetry
+        span = 0
+        if tel is not None:
+            span = tel.bus.new_span()
+            tel.emit(SubscribeEvent(span=span, node=self._owner_name(),
+                                    key=key_of(key)))
         with self.system.structure_lock.write():
-            handler = self._include(key, [])
+            handler = self._include(key, [], span)
             handler.consumer_count += 1
             return MetadataSubscription(self, handler)
 
     def _unsubscribe(self, handler: MetadataHandler) -> None:
+        tel = self.system.telemetry
+        span = 0
+        if tel is not None:
+            span = tel.bus.new_span()
+            tel.emit(UnsubscribeEvent(span=span, node=self._owner_name(),
+                                      key=key_of(handler.key)))
         with self.system.structure_lock.write():
             handler.consumer_count -= 1
-            self._exclude(handler.key)
+            self._exclude(handler.key, span)
 
     def get(self, key: MetadataKey) -> Any:
         """Read the current value of an *included* item without subscribing."""
@@ -349,11 +412,13 @@ class MetadataRegistry:
 
     # -- include / exclude machinery (Section 2.4) ----------------------------------------
 
-    def _include(self, key: MetadataKey, stack: list) -> MetadataHandler:
+    def _include(self, key: MetadataKey, stack: list, span: int = 0) -> MetadataHandler:
         """Depth-first inclusion of ``key`` and its dependency closure.
 
-        ``stack`` carries the in-progress traversal path for cycle detection.
-        Returns the (new or shared) handler with its counter incremented.
+        ``stack`` carries the in-progress traversal path for cycle detection;
+        ``span`` is the causal trace-span id of the triggering subscribe (0
+        while telemetry is off).  Returns the (new or shared) handler with
+        its counter incremented.
         """
         if key not in self._definitions:
             raise UnknownMetadataError(self.owner, key)
@@ -365,11 +430,16 @@ class MetadataRegistry:
             ]
             raise DependencyCycleError(cycle + [f"{self._owner_name()}/{key!r}"])
 
+        tel = self.system.telemetry
         existing = self._handlers.get(key)
         if existing is not None:
             # "The traversal stops at items already provided" — but the
             # counter still moves, so sharing is accounted for.
             existing.include_count += 1
+            if tel is not None:
+                tel.emit(IncludeEvent(span=span, node=self._owner_name(),
+                                      key=key_of(key), shared=True,
+                                      depth=len(stack)))
             return existing
 
         definition = self._definitions[key]
@@ -379,7 +449,7 @@ class MetadataRegistry:
         try:
             for spec in definition.resolve_specs(self):
                 for target_registry, dep_key in self._resolve_spec(spec):
-                    dep_handler = target_registry._include(dep_key, stack)
+                    dep_handler = target_registry._include(dep_key, stack, span)
                     handler.dependency_handlers.append((spec, dep_handler))
                     dep_handler.attach_dependent(handler)
         except Exception:
@@ -409,26 +479,37 @@ class MetadataRegistry:
                 dep_handler.detach_dependent(handler)
                 dep_handler.registry._exclude(dep_handler.key)
             raise
+        if tel is not None:
+            tel.emit(IncludeEvent(span=span, node=self._owner_name(),
+                                  key=key_of(key), shared=False,
+                                  depth=len(stack)))
         self.system.handler_created(handler)
         return handler
 
-    def _exclude(self, key: MetadataKey) -> None:
+    def _exclude(self, key: MetadataKey, span: int = 0) -> None:
         """Decrement ``key``'s counter; remove and cascade at zero."""
         handler = self._handlers.get(key)
         if handler is None:
             raise SubscriptionError(
                 f"exclude of {key!r} on {self._owner_name()} without inclusion"
             )
+        tel = self.system.telemetry
         handler.include_count -= 1
         if handler.include_count > 0:
+            if tel is not None:
+                tel.emit(ExcludeEvent(span=span, node=self._owner_name(),
+                                      key=key_of(key), removed=False))
             return
         del self._handlers[key]
         handler.on_removed()
+        if tel is not None:
+            tel.emit(ExcludeEvent(span=span, node=self._owner_name(),
+                                  key=key_of(key), removed=True))
         for probe_name in handler.definition.monitors:
             self.probe(probe_name).deactivate()
         for spec, dep_handler in handler.dependency_handlers:
             dep_handler.detach_dependent(handler)
-            dep_handler.registry._exclude(dep_handler.key)
+            dep_handler.registry._exclude(dep_handler.key, span)
         self.system.handler_removed(handler)
 
     # -- dependency spec resolution ------------------------------------------------------

@@ -23,9 +23,11 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.clock import Clock, Timer, VirtualClock
+from repro.telemetry.events import SchedulerCancel, SchedulerRefresh, key_of, node_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.handler import PeriodicHandler
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["PeriodicTask", "PeriodicScheduler", "VirtualTimeScheduler", "ThreadedScheduler"]
 
@@ -66,6 +68,10 @@ class PeriodicScheduler:
     """Common interface of periodic-update schedulers."""
 
     clock: Clock
+
+    #: Telemetry hub attached by ``MetadataSystem.enable_telemetry``; while
+    #: ``None`` (the default) every scheduler hook is one attribute check.
+    telemetry: "Telemetry | None" = None
 
     def register(self, handler: "PeriodicHandler") -> PeriodicTask:
         """Begin refreshing ``handler`` every ``handler.period`` time units."""
@@ -108,11 +114,22 @@ class VirtualTimeScheduler(PeriodicScheduler):
             if task.cancelled:
                 return
             task.fire_count += 1
-            task.total_lateness += max(0.0, self.clock.now() - deadline)
+            lateness = max(0.0, self.clock.now() - deadline)
+            task.total_lateness += lateness
+            tel = self.telemetry
+            t0 = time.monotonic() if tel is not None else 0.0
+            error = False
             try:
                 task.handler.periodic_refresh()
             except Exception:  # noqa: BLE001 - one failing item must not
                 task.error_count += 1  # derail the whole event loop
+                error = True
+            if tel is not None:
+                tel.emit(SchedulerRefresh(node=node_of(task.handler),
+                                          key=key_of(task.handler.key),
+                                          queue_latency=lateness,
+                                          duration=time.monotonic() - t0,
+                                          error=error))
             if not task.cancelled:
                 self._arm(task, deadline + task.period)
 
@@ -126,6 +143,11 @@ class VirtualTimeScheduler(PeriodicScheduler):
             if task._timer is not None:
                 task._timer.cancel()
             self._active -= 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.emit(SchedulerCancel(node=node_of(task.handler),
+                                         key=key_of(task.handler.key),
+                                         in_flight=False))
 
     def active_task_count(self) -> int:
         return self._active
@@ -204,20 +226,28 @@ class ThreadedScheduler(PeriodicScheduler):
         functions must never subscribe or cancel subscriptions — see the
         concurrency model in docs/METADATA_GUIDE.md).
         """
+        cancelled_now = False
+        raced_in_flight = False
         with self._cond:
             if not task.cancelled:
                 task.cancelled = True
                 self._active -= 1
+                cancelled_now = True
                 self._cond.notify_all()
-            if not wait:
-                return
             me = threading.get_ident()
-            deadline = time.monotonic() + self.unregister_wait_timeout
-            while task._running and task._runner != me:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break  # backstop: report via repr/debugging, don't hang
-                self._cond.wait(remaining)
+            raced_in_flight = task._running and task._runner != me
+            if wait:
+                deadline = time.monotonic() + self.unregister_wait_timeout
+                while task._running and task._runner != me:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break  # backstop: report via repr/debugging, don't hang
+                    self._cond.wait(remaining)
+        tel = self.telemetry
+        if tel is not None and cancelled_now:
+            tel.emit(SchedulerCancel(node=node_of(task.handler),
+                                     key=key_of(task.handler.key),
+                                     in_flight=raced_in_flight))
 
     def active_task_count(self) -> int:
         with self._cond:
@@ -257,12 +287,17 @@ class ThreadedScheduler(PeriodicScheduler):
                 task._running = True
                 task._runner = threading.get_ident()
                 task.fire_count += 1
-                task.total_lateness += max(0.0, self.clock.now() - deadline)
+                lateness = max(0.0, self.clock.now() - deadline)
+                task.total_lateness += lateness
             # Run the refresh outside the scheduler lock so slow refreshes do
             # not block other workers.
+            tel = self.telemetry
+            t0 = time.monotonic() if tel is not None else 0.0
+            error = False
             try:
                 task.handler.periodic_refresh()
             except Exception:  # noqa: BLE001 - a failing item must not kill the pool
+                error = True
                 with self._cond:
                     task.error_count += 1
             finally:
@@ -276,3 +311,9 @@ class ThreadedScheduler(PeriodicScheduler):
                     # Wake both idle workers (new heap entry) and
                     # unregister() callers waiting for this run to finish.
                     self._cond.notify_all()
+            if tel is not None:
+                tel.emit(SchedulerRefresh(node=node_of(task.handler),
+                                          key=key_of(task.handler.key),
+                                          queue_latency=lateness,
+                                          duration=time.monotonic() - t0,
+                                          error=error))

@@ -1,0 +1,100 @@
+"""Observability for the metadata runtime itself.
+
+The paper argues that only *currently required* metadata should be
+maintained (Sections 2 and 4.4.1); this package makes that working set — and
+the machinery maintaining it — observable in motion:
+
+* :mod:`repro.telemetry.events` — typed trace events for every lifecycle the
+  runtime executes (subscribe/include chains, handler create/retire,
+  propagation waves with per-edge hops and causal span ids, periodic
+  scheduling, probe activation);
+* :mod:`repro.telemetry.trace` — the thread-safe ring-buffered trace bus;
+* :mod:`repro.telemetry.metrics` — counters/gauges/fixed-bound histograms
+  with Prometheus-text and JSON-lines exporters;
+* :mod:`repro.telemetry.hub` — the :class:`Telemetry` facade the runtime's
+  hooks emit into, plus the text dashboard and the "why did this handler
+  refresh?" span renderer.
+
+Telemetry is off by default and costs a single ``is None`` check per hook
+while disabled — the same zero-overhead-when-inactive discipline the paper's
+monitoring probes follow.  Enable it per system::
+
+    telemetry = graph.metadata_system.enable_telemetry()
+    ...
+    print(render_dashboard(telemetry))
+    print(explain_refresh(telemetry, join, md.EST_CPU_USAGE))
+    prometheus_text = telemetry.metrics.to_prometheus()
+"""
+
+from repro.telemetry.events import (
+    DrainHandoff,
+    ExcludeEvent,
+    HandlerCreated,
+    HandlerRefresh,
+    HandlerRetired,
+    IncludeEvent,
+    ProbeActivated,
+    ProbeDeactivated,
+    SchedulerCancel,
+    SchedulerRefresh,
+    SubscribeEvent,
+    TraceEvent,
+    UnsubscribeEvent,
+    WaveEnd,
+    WaveEnqueued,
+    WaveHop,
+    WaveRefresh,
+    WaveStart,
+    WaveSuppressed,
+    event_to_dict,
+    key_of,
+    node_of,
+)
+from repro.telemetry.hub import (
+    Telemetry,
+    explain_refresh,
+    format_span,
+    render_dashboard,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import TraceBus, jsonl_writer
+
+__all__ = [
+    "Telemetry",
+    "TraceBus",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TraceEvent",
+    "SubscribeEvent",
+    "UnsubscribeEvent",
+    "IncludeEvent",
+    "ExcludeEvent",
+    "HandlerCreated",
+    "HandlerRetired",
+    "HandlerRefresh",
+    "ProbeActivated",
+    "ProbeDeactivated",
+    "WaveEnqueued",
+    "DrainHandoff",
+    "WaveStart",
+    "WaveHop",
+    "WaveRefresh",
+    "WaveSuppressed",
+    "WaveEnd",
+    "SchedulerRefresh",
+    "SchedulerCancel",
+    "render_dashboard",
+    "explain_refresh",
+    "format_span",
+    "jsonl_writer",
+    "event_to_dict",
+    "key_of",
+    "node_of",
+]

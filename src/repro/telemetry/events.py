@@ -1,0 +1,283 @@
+"""Typed trace events of the telemetry layer.
+
+Every observable step of the metadata runtime's lifecycles — subscription
+(with its transitive include chain), handler creation and retirement,
+propagation waves (per-edge hops, refreshes, suppressions, drain handoffs),
+periodic scheduling and probe activation — is described by one small event
+dataclass.  Events are *plain data*: they carry node/key identities as
+strings (never object references, so a retained trace cannot keep dead
+handlers alive) and know nothing about the bus or the metrics registry that
+consume them.
+
+Causality
+---------
+
+Events that belong to one logical cascade share a ``span`` id:
+
+* a ``subscribe`` span covers the subscription event and every transitive
+  ``include`` it caused (Section 2.4's depth-first traversal),
+* an ``unsubscribe`` span covers the exclusion cascade, and
+* a *wave* span is allocated when a change is enqueued on the propagation
+  engine and travels with the wave through ``wave.start``, every per-edge
+  ``wave.hop``, every ``wave.refresh`` / ``wave.suppressed`` and the final
+  ``wave.end`` — the Figure-3-style answer to "why did this handler
+  refresh?".
+
+Timestamps are stamped by the :class:`~repro.telemetry.trace.TraceBus` at
+record time: ``ts`` in the system's clock domain (virtual time units under a
+:class:`~repro.common.clock.VirtualClock`) and ``mono`` from
+:func:`time.monotonic` so durations are meaningful even when virtual time
+stands still.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "TraceEvent",
+    "SubscribeEvent",
+    "UnsubscribeEvent",
+    "IncludeEvent",
+    "ExcludeEvent",
+    "HandlerCreated",
+    "HandlerRetired",
+    "HandlerRefresh",
+    "ProbeActivated",
+    "ProbeDeactivated",
+    "WaveEnqueued",
+    "DrainHandoff",
+    "WaveStart",
+    "WaveHop",
+    "WaveRefresh",
+    "WaveSuppressed",
+    "WaveEnd",
+    "SchedulerRefresh",
+    "SchedulerCancel",
+    "key_of",
+    "node_of",
+    "event_to_dict",
+]
+
+
+def key_of(key: Any) -> str:
+    """Canonical string form of a :class:`MetadataKey` (``name[q0,q1]``)."""
+    qualifier = getattr(key, "qualifier", ())
+    if qualifier:
+        return f"{key.name}[{','.join(map(str, qualifier))}]"
+    return str(getattr(key, "name", key))
+
+
+def node_of(handler: Any) -> str:
+    """Owner name of a handler (or any object with a ``registry.owner``)."""
+    owner = handler.registry.owner
+    return str(getattr(owner, "name", owner))
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """Base event; subclasses add payload fields and set :attr:`kind`.
+
+    ``ts``/``mono``/``thread`` are filled in by the bus, not by emitters.
+    """
+
+    kind = "event"
+
+    span: int = 0
+    ts: float = 0.0
+    mono: float = 0.0
+    thread: int = 0
+
+
+@dataclass(slots=True)
+class SubscribeEvent(TraceEvent):
+    kind = "subscribe"
+    node: str = ""
+    key: str = ""
+
+
+@dataclass(slots=True)
+class UnsubscribeEvent(TraceEvent):
+    kind = "unsubscribe"
+    node: str = ""
+    key: str = ""
+
+
+@dataclass(slots=True)
+class IncludeEvent(TraceEvent):
+    """One step of the depth-first inclusion traversal (Section 2.4).
+
+    ``shared`` marks "the traversal stops at items already provided": the
+    handler existed and only its counter moved.  ``depth`` is the traversal
+    depth at which this item was reached (0 = the subscribed item itself).
+    """
+
+    kind = "include"
+    node: str = ""
+    key: str = ""
+    shared: bool = False
+    depth: int = 0
+
+
+@dataclass(slots=True)
+class ExcludeEvent(TraceEvent):
+    """One counter decrement of the exclusion cascade; ``removed`` marks the
+    decrements that reached zero and took the handler down."""
+
+    kind = "exclude"
+    node: str = ""
+    key: str = ""
+    removed: bool = False
+
+
+@dataclass(slots=True)
+class HandlerCreated(TraceEvent):
+    kind = "handler.created"
+    node: str = ""
+    key: str = ""
+    mechanism: str = ""
+
+
+@dataclass(slots=True)
+class HandlerRetired(TraceEvent):
+    kind = "handler.retired"
+    node: str = ""
+    key: str = ""
+    mechanism: str = ""
+
+
+@dataclass(slots=True)
+class HandlerRefresh(TraceEvent):
+    """A direct :meth:`MetadataHandler.refresh` (periodic tick or manual)."""
+
+    kind = "handler.refresh"
+    node: str = ""
+    key: str = ""
+    changed: bool = False
+    duration: float = 0.0
+
+
+@dataclass(slots=True)
+class ProbeActivated(TraceEvent):
+    """A probe's activation count crossed 0 -> 1 (monitoring begins)."""
+
+    kind = "probe.activated"
+    node: str = ""
+    name: str = ""
+    count: int = 0
+
+
+@dataclass(slots=True)
+class ProbeDeactivated(TraceEvent):
+    """A probe's activation count crossed 1 -> 0 (monitoring ends)."""
+
+    kind = "probe.deactivated"
+    node: str = ""
+    name: str = ""
+    count: int = 0
+
+
+@dataclass(slots=True)
+class WaveEnqueued(TraceEvent):
+    """A change/event was enqueued as a wave source; ``span`` is the causal
+    id the whole wave will carry.  ``pending`` is the queue depth after the
+    append (drain backlog visibility)."""
+
+    kind = "wave.enqueued"
+    node: str = ""
+    key: str = ""
+    pending: int = 0
+
+
+@dataclass(slots=True)
+class DrainHandoff(TraceEvent):
+    """A thread acquired (``acquired=True``) or retired the drainer role."""
+
+    kind = "wave.drain"
+    acquired: bool = False
+    pending: int = 0
+
+
+@dataclass(slots=True)
+class WaveStart(TraceEvent):
+    kind = "wave.start"
+    node: str = ""
+    key: str = ""
+    wave_size: int = 0
+
+
+@dataclass(slots=True)
+class WaveHop(TraceEvent):
+    """One inter-handler dependency edge the wave propagated across."""
+
+    kind = "wave.hop"
+    from_node: str = ""
+    from_key: str = ""
+    to_node: str = ""
+    to_key: str = ""
+
+
+@dataclass(slots=True)
+class WaveRefresh(TraceEvent):
+    """An in-wave recompute; ``changed`` is whether dependents must react."""
+
+    kind = "wave.refresh"
+    node: str = ""
+    key: str = ""
+    changed: bool = False
+    error: bool = False
+    duration: float = 0.0
+
+
+@dataclass(slots=True)
+class WaveSuppressed(TraceEvent):
+    """A dependent skipped by the wave (``reason``: ``unchanged-inputs``,
+    ``removed``, or ``excluded`` for a concurrent unsubscribe)."""
+
+    kind = "wave.suppressed"
+    node: str = ""
+    key: str = ""
+    reason: str = ""
+
+
+@dataclass(slots=True)
+class WaveEnd(TraceEvent):
+    kind = "wave.end"
+    refreshed: int = 0
+    suppressed: int = 0
+    errors: int = 0
+    duration: float = 0.0
+
+
+@dataclass(slots=True)
+class SchedulerRefresh(TraceEvent):
+    """One periodic-scheduler tick: ``queue_latency`` is how far past its
+    deadline the refresh started (the paper's *lateness*), ``duration`` the
+    wall-clock run time of the refresh itself."""
+
+    kind = "sched.refresh"
+    node: str = ""
+    key: str = ""
+    queue_latency: float = 0.0
+    duration: float = 0.0
+    error: bool = False
+
+
+@dataclass(slots=True)
+class SchedulerCancel(TraceEvent):
+    """A periodic task was cancelled; ``in_flight`` marks the cancel race
+    where a refresh was running on a worker and had to be waited out."""
+
+    kind = "sched.cancel"
+    node: str = ""
+    key: str = ""
+    in_flight: bool = False
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Flat JSON-friendly dict of an event (``kind`` first)."""
+    data = {"kind": event.kind}
+    data.update(dataclasses.asdict(event))
+    return data

@@ -1,0 +1,263 @@
+"""The telemetry hub — one object bundling trace capture and metrics.
+
+A :class:`Telemetry` instance is what the runtime's instrumentation hooks
+talk to.  It owns a :class:`~repro.telemetry.trace.TraceBus` and a
+:class:`~repro.telemetry.metrics.MetricsRegistry`; :meth:`Telemetry.emit`
+buffers the event and folds it into the matching metric series in one call,
+so hooks never need to know about metric names.
+
+Telemetry is **off by default** and attached per
+:class:`~repro.metadata.registry.MetadataSystem` via
+``system.enable_telemetry()``.  The overhead discipline mirrors the paper's
+monitoring probes (Section 4.4.1): while disabled, every hook in the runtime
+is a single ``telemetry is None`` check — no event objects, no locks, no
+metric lookups.  CI enforces this with the overhead gate in
+``benchmarks/bench_telemetry_overhead.py``.
+
+Human-facing views:
+
+* :func:`render_dashboard` — a text dashboard of the aggregated series
+  (the upgraded ``examples/monitoring_dashboard.py`` output), and
+* :func:`explain_refresh` — the Figure-3-style causal cascade behind the
+  most recent refresh of one handler, reconstructed from the wave span.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import Clock
+from repro.telemetry import events as ev
+from repro.telemetry.metrics import (
+    DURATION_BOUNDS,
+    MetricsRegistry,
+    SIZE_BOUNDS,
+)
+from repro.telemetry.trace import TraceBus
+
+__all__ = ["Telemetry", "render_dashboard", "explain_refresh", "format_span"]
+
+
+class Telemetry:
+    """Trace bus + metrics registry behind a single ``emit`` entry point."""
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        capacity: int = 4096,
+        prefix: str = "repro",
+    ) -> None:
+        self.bus = TraceBus(clock, capacity)
+        self.metrics = MetricsRegistry(prefix)
+
+    # -- capture + aggregation ---------------------------------------------
+
+    def emit(self, event: ev.TraceEvent) -> None:
+        """Buffer ``event`` and fold it into the metric series."""
+        self.bus.record(event)
+        self._aggregate(event)
+
+    def _aggregate(self, event: ev.TraceEvent) -> None:
+        m = self.metrics
+        if isinstance(event, ev.WaveRefresh):
+            m.counter("wave_refreshes_total", {"node": event.node}).inc()
+            m.histogram("refresh_duration_seconds").observe(event.duration)
+            if event.error:
+                m.counter("wave_errors_total", {"node": event.node}).inc()
+        elif isinstance(event, ev.WaveHop):
+            m.counter("wave_hops_total").inc()
+        elif isinstance(event, ev.WaveSuppressed):
+            m.counter("wave_suppressed_total", {"reason": event.reason}).inc()
+        elif isinstance(event, ev.WaveStart):
+            m.counter("waves_total").inc()
+            m.histogram("wave_size", bounds=SIZE_BOUNDS).observe(event.wave_size)
+        elif isinstance(event, ev.WaveEnd):
+            m.histogram("wave_duration_seconds").observe(event.duration)
+        elif isinstance(event, ev.WaveEnqueued):
+            m.histogram("wave_queue_depth", bounds=SIZE_BOUNDS).observe(event.pending)
+        elif isinstance(event, ev.DrainHandoff):
+            m.counter("drain_handoffs_total").inc()
+        elif isinstance(event, ev.SchedulerRefresh):
+            m.counter("scheduler_refreshes_total", {"node": event.node}).inc()
+            m.histogram("scheduler_queue_latency").observe(event.queue_latency)
+            m.histogram("scheduler_run_duration_seconds").observe(event.duration)
+            if event.error:
+                m.counter("scheduler_errors_total", {"node": event.node}).inc()
+        elif isinstance(event, ev.SchedulerCancel):
+            m.counter("scheduler_cancels_total").inc()
+            if event.in_flight:
+                m.counter("scheduler_cancel_races_total").inc()
+        elif isinstance(event, ev.HandlerRefresh):
+            m.counter("handler_refreshes_total", {"node": event.node}).inc()
+            m.histogram("refresh_duration_seconds").observe(event.duration)
+        elif isinstance(event, ev.SubscribeEvent):
+            m.counter("subscribes_total", {"node": event.node}).inc()
+        elif isinstance(event, ev.UnsubscribeEvent):
+            m.counter("unsubscribes_total", {"node": event.node}).inc()
+        elif isinstance(event, ev.IncludeEvent):
+            m.counter(
+                "includes_total",
+                {"node": event.node, "shared": str(event.shared).lower()},
+            ).inc()
+        elif isinstance(event, ev.ExcludeEvent):
+            if event.removed:
+                m.counter("excludes_total", {"node": event.node}).inc()
+        elif isinstance(event, ev.HandlerCreated):
+            m.counter(
+                "handlers_created_total",
+                {"node": event.node, "mechanism": event.mechanism},
+            ).inc()
+            m.gauge("handlers_live").inc()
+        elif isinstance(event, ev.HandlerRetired):
+            m.counter(
+                "handlers_retired_total",
+                {"node": event.node, "mechanism": event.mechanism},
+            ).inc()
+            m.gauge("handlers_live").dec()
+        elif isinstance(event, ev.ProbeActivated):
+            m.gauge("probes_active").inc()
+        elif isinstance(event, ev.ProbeDeactivated):
+            m.gauge("probes_active").dec()
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Plain-data summary for ``introspect.describe_system``."""
+        return {
+            "enabled": True,
+            "events_captured": self.bus.emitted,
+            "events_buffered": len(self.bus),
+            "events_dropped": self.bus.dropped,
+            "buffer_capacity": self.bus.capacity,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Telemetry(events={self.bus.emitted}, dropped={self.bus.dropped})"
+
+
+# ---------------------------------------------------------------------------
+# Human-facing rendering
+# ---------------------------------------------------------------------------
+
+
+def render_dashboard(telemetry: Telemetry, width: int = 68) -> str:
+    """Text dashboard over the aggregated metric series."""
+    snap = telemetry.metrics.snapshot()
+    lines = ["telemetry dashboard".center(width, "-")]
+    lines.append(
+        f"events: {telemetry.bus.emitted} captured, "
+        f"{len(telemetry.bus)} buffered, {telemetry.bus.dropped} dropped"
+    )
+    if snap["counters"]:
+        lines.append("")
+        lines.append("counters")
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<50} {value:>10}")
+    if snap["gauges"]:
+        lines.append("")
+        lines.append("gauges")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:<50} {value:>10g}")
+    if snap["histograms"]:
+        lines.append("")
+        lines.append("histograms")
+        for name, data in snap["histograms"].items():
+            lines.append(
+                f"  {name:<38} count={data['count']:<8} "
+                f"mean={data['mean']:.6g}"
+            )
+    lines.append("-" * width)
+    return "\n".join(lines)
+
+
+def _ident(node: str, key: str) -> str:
+    return f"{node}/{key}"
+
+
+def format_span(telemetry: Telemetry, span: int) -> str:
+    """Render one causal span (subscribe chain or wave) as an indented log."""
+    events = telemetry.bus.span_events(span)
+    if not events:
+        return f"span {span}: no buffered events"
+    lines = [f"span {span} ({len(events)} events)"]
+    for event in events:
+        if isinstance(event, ev.WaveEnqueued):
+            lines.append(
+                f"  t={event.ts:g} enqueued by change of "
+                f"{_ident(event.node, event.key)} (queue depth {event.pending})"
+            )
+        elif isinstance(event, ev.WaveStart):
+            lines.append(
+                f"  t={event.ts:g} wave started at {_ident(event.node, event.key)}"
+                f" covering {event.wave_size} handler(s)"
+            )
+        elif isinstance(event, ev.WaveHop):
+            lines.append(
+                f"    hop {_ident(event.from_node, event.from_key)}"
+                f" -> {_ident(event.to_node, event.to_key)}"
+            )
+        elif isinstance(event, ev.WaveRefresh):
+            status = "error" if event.error else (
+                "changed" if event.changed else "unchanged")
+            lines.append(
+                f"    refresh {_ident(event.node, event.key)} [{status}]"
+                f" ({event.duration * 1e6:.1f}us)"
+            )
+        elif isinstance(event, ev.WaveSuppressed):
+            lines.append(
+                f"    suppressed {_ident(event.node, event.key)}"
+                f" ({event.reason})"
+            )
+        elif isinstance(event, ev.WaveEnd):
+            lines.append(
+                f"  wave end: {event.refreshed} refreshed, "
+                f"{event.suppressed} suppressed, {event.errors} error(s)"
+            )
+        elif isinstance(event, ev.DrainHandoff):
+            lines.append(
+                f"    drainer {'acquired' if event.acquired else 'retired'}"
+                f" (queue depth {event.pending})"
+            )
+        elif isinstance(event, ev.SubscribeEvent):
+            lines.append(
+                f"  t={event.ts:g} subscribe {_ident(event.node, event.key)}"
+            )
+        elif isinstance(event, ev.UnsubscribeEvent):
+            lines.append(
+                f"  t={event.ts:g} unsubscribe {_ident(event.node, event.key)}"
+            )
+        elif isinstance(event, ev.IncludeEvent):
+            mark = "shared" if event.shared else "new handler"
+            lines.append(
+                f"    {'  ' * event.depth}include {_ident(event.node, event.key)}"
+                f" [{mark}]"
+            )
+        elif isinstance(event, ev.ExcludeEvent):
+            mark = "removed" if event.removed else "still shared"
+            lines.append(
+                f"    exclude {_ident(event.node, event.key)} [{mark}]"
+            )
+        else:
+            lines.append(f"    {event.kind}")
+    return "\n".join(lines)
+
+
+def explain_refresh(telemetry: Telemetry, node: Any, key: Any) -> str:
+    """Why did this handler refresh?  Render the causal wave cascade behind
+    the most recent (buffered) refresh of ``(node, key)``.
+
+    ``node`` may be a graph node or a name; ``key`` a ``MetadataKey`` or its
+    string form.  Returns the full span log of the triggering wave, from the
+    enqueueing change through every dependency hop to the refresh itself.
+    """
+    node_name = str(getattr(node, "name", node))
+    key_name = ev.key_of(key)
+    for event in reversed(telemetry.bus.events(kind="wave.refresh")):
+        if event.node == node_name and event.key == key_name:
+            header = (
+                f"why did {node_name}/{key_name} refresh?  "
+                f"(last refresh at t={event.ts:g})"
+            )
+            return header + "\n" + format_span(telemetry, event.span)
+    return f"no buffered wave refresh of {node_name}/{key_name}"

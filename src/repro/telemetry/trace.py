@@ -1,0 +1,154 @@
+"""The structured trace bus — a thread-safe, ring-buffered event log.
+
+The bus is the capture side of the telemetry layer: instrumentation hooks
+construct a typed event (:mod:`repro.telemetry.events`) and hand it to
+:meth:`TraceBus.record`, which stamps timestamps and the emitting thread and
+appends it to a bounded ring buffer.  The buffer is a ring on purpose — a
+misbehaving workload must never turn observability into an unbounded memory
+leak; when full, the *oldest* events are dropped and counted.
+
+Design constraints, in the spirit of the paper's probes (Section 4.4.1):
+
+* recording must be cheap (one lock, one deque append — no I/O, no
+  formatting), because it runs inside propagation waves and scheduler
+  workers;
+* when telemetry is disabled nothing in this module runs at all — the hooks
+  in the runtime check a single ``telemetry is None`` before building any
+  event.
+
+Listeners registered with :meth:`listen` receive every event synchronously
+after it is buffered; :func:`jsonl_writer` builds the standard JSON-lines
+streaming exporter on top of that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, IO
+
+from repro.common.clock import Clock
+from repro.telemetry.events import TraceEvent, event_to_dict
+
+__all__ = ["TraceBus", "jsonl_writer"]
+
+
+class TraceBus:
+    """Bounded, thread-safe buffer of :class:`TraceEvent` objects.
+
+    ``clock`` supplies the ``ts`` domain (virtual time under a simulation
+    clock); ``mono`` always comes from :func:`time.monotonic` so durations
+    and ordering are meaningful even when the domain clock stands still.
+    """
+
+    def __init__(self, clock: Clock | None = None, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        # itertools.count is the span allocator; next() is atomic in CPython,
+        # and span 0 is reserved for "no span" (telemetry-disabled paths).
+        self._spans = itertools.count(1)
+        self.emitted = 0
+        self.dropped = 0
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    # -- spans -------------------------------------------------------------
+
+    def new_span(self) -> int:
+        """Allocate a fresh causal span id (unique per bus, never 0)."""
+        return next(self._spans)
+
+    # -- capture -----------------------------------------------------------
+
+    def record(self, event: TraceEvent) -> TraceEvent:
+        """Stamp and buffer ``event``; deliver it to listeners."""
+        event.mono = time.monotonic()
+        event.ts = self._clock.now() if self._clock is not None else event.mono
+        event.thread = threading.get_ident()
+        with self._lock:
+            if len(self._buffer) == self.capacity:
+                self.dropped += 1
+            self._buffer.append(event)
+            self.emitted += 1
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(event)
+        return event
+
+    def listen(self, listener: Callable[[TraceEvent], None]) -> Callable[[], None]:
+        """Stream every subsequent event to ``listener``; returns a detacher."""
+        with self._lock:
+            self._listeners.append(listener)
+
+        def detach() -> None:
+            with self._lock:
+                try:
+                    self._listeners.remove(listener)
+                except ValueError:
+                    pass
+
+        return detach
+
+    # -- query -------------------------------------------------------------
+
+    def events(
+        self, kind: str | None = None, span: int | None = None
+    ) -> list[TraceEvent]:
+        """Snapshot of buffered events, optionally filtered by kind/span.
+
+        ``kind`` may be an exact kind (``"wave.hop"``) or a dotted prefix
+        (``"wave"`` matches every wave-lifecycle event).
+        """
+        with self._lock:
+            snapshot = list(self._buffer)
+        if kind is not None:
+            snapshot = [
+                e for e in snapshot
+                if e.kind == kind or e.kind.startswith(kind + ".")
+            ]
+        if span is not None:
+            snapshot = [e for e in snapshot if e.span == span]
+        return snapshot
+
+    def span_events(self, span: int) -> list[TraceEvent]:
+        """All buffered events of one causal span, in capture order."""
+        return self.events(span=span)
+
+    def clear(self) -> None:
+        """Drop buffered events (counters and span allocation keep running)."""
+        with self._lock:
+            self._buffer.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceBus(buffered={len(self)}, emitted={self.emitted}, "
+            f"dropped={self.dropped})"
+        )
+
+
+def jsonl_writer(stream: IO[str]) -> Callable[[TraceEvent], None]:
+    """Build a listener that streams events to ``stream`` as JSON lines.
+
+    Usage::
+
+        detach = bus.listen(jsonl_writer(open("trace.jsonl", "w")))
+    """
+
+    lock = threading.Lock()
+
+    def write(event: TraceEvent) -> None:
+        line = json.dumps(event_to_dict(event), default=str)
+        with lock:
+            stream.write(line + "\n")
+
+    return write

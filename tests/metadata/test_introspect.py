@@ -117,3 +117,63 @@ class TestModuleIntrospection:
         report = render_report(graph.metadata_system)
         assert "module.probe_fraction" in report
         assert "module.max_bucket_size" in report
+
+
+class TestRenderReportEdgeCases:
+    def test_included_only_with_zero_live_handlers(self):
+        """included_only=True with nothing subscribed renders just the
+        stats header — no empty per-registry sections."""
+        graph, *_ = build()
+        report = render_report(graph.metadata_system, included_only=True)
+        lines = report.splitlines()
+        assert lines[0].startswith("metadata system: ")
+        assert len(lines) == 1
+
+    def test_qualifier_formatting_in_report(self):
+        """Qualified keys render as name[q0,...] with padding intact."""
+        graph, source, fil, sink = build()
+        report = render_report(graph.metadata_system)
+        assert "stream.input_rate[0]" in report
+        # Unqualified keys carry no brackets.
+        assert "operator.selectivity[" not in report
+
+    def test_multi_part_qualifier_renders_comma_separated(self, make_owner):
+        from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey
+
+        owner = make_owner("n")
+        key = MetadataKey("rate", ("out", 1))
+        owner.metadata.define(MetadataDefinition(
+            key, Mechanism.STATIC, value=3,
+        ))
+        report = render_report(owner.metadata.system)
+        assert "rate[out,1]" in report
+
+    def test_to_json_preserves_value_types(self):
+        """Numbers survive as numbers; only non-JSON values are stringified."""
+        graph, source, fil, sink = build()
+        subscription = fil.metadata.subscribe(md.SELECTIVITY)
+        graph.clock.advance_by(30.0)
+        parsed = json.loads(to_json(graph.metadata_system))
+        registry = next(r for r in parsed["registries"] if r["owner"] == "f")
+        item = next(i for i in registry["items"]
+                    if i["key"] == "operator.selectivity")
+        assert isinstance(item["include_count"], int)
+        assert isinstance(item["age"], (int, float))  # not "5.0"
+        assert isinstance(item["included"], bool)
+        assert isinstance(item["period"], (int, float))
+        subscription.cancel()
+
+    def test_to_json_without_indent(self):
+        graph, *_ = build()
+        text = to_json(graph.metadata_system, indent=None)
+        assert "\n" not in text
+        json.loads(text)
+
+    def test_telemetry_section_round_trips_through_json(self):
+        graph, source, fil, sink = build()
+        graph.metadata_system.enable_telemetry()
+        subscription = fil.metadata.subscribe(md.SELECTIVITY)
+        parsed = json.loads(to_json(graph.metadata_system))
+        assert parsed["telemetry"]["enabled"] is True
+        assert isinstance(parsed["telemetry"]["events_captured"], int)
+        subscription.cancel()

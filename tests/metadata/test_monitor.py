@@ -11,6 +11,7 @@ from repro.metadata.monitor import (
     CounterProbe,
     GaugeProbe,
     MeanProbe,
+    Probe,
     RateProbe,
 )
 
@@ -131,3 +132,104 @@ class TestMeanProbe:
         probe.record(5.0)
         probe.activate()
         assert probe.mean_and_reset() == 0.0
+
+
+class TestActivationThreadSafety:
+    @pytest.mark.stress
+    def test_concurrent_activation_refcount_is_exact(self, clock):
+        """Interleaved activate/deactivate from many threads must keep the
+        reference count exact: losing one activation leaves a probe inactive
+        while included metadata depends on it."""
+        from repro.common.racecheck import RaceCheck
+
+        probe = CounterProbe("c", clock)
+        iterations = 200
+
+        def churn(worker, i):
+            probe.activate()
+            probe.deactivate()
+
+        check = RaceCheck(iterations=iterations, timeout=30.0)
+        check.add(churn, threads=4)
+        check.run()
+        assert probe._activation_count == 0
+        assert not probe.active
+
+    @pytest.mark.stress
+    def test_activation_hooks_run_once_per_transition(self, clock):
+        """_on_activate/_on_deactivate fire exactly once per 0<->1 crossing
+        even when the crossing is contended."""
+        from repro.common.racecheck import RaceCheck
+
+        class HookCounting(Probe):
+            def __init__(self) -> None:
+                super().__init__("h")
+                self.activations = 0
+                self.deactivations = 0
+
+            def _on_activate(self) -> None:
+                self.activations += 1  # runs under the probe mutex
+
+            def _on_deactivate(self) -> None:
+                self.deactivations += 1
+
+        probe = HookCounting()
+
+        def churn(worker, i):
+            probe.activate()
+            probe.deactivate()
+
+        check = RaceCheck(iterations=200, timeout=30.0)
+        check.add(churn, threads=4)
+        check.run()
+        # Every completed 0->1 crossing has a matching 1->0 crossing.
+        assert probe.activations == probe.deactivations
+        assert probe.activations >= 1
+        assert not probe.active
+
+
+class TestRateProbeDeduplication:
+    def test_unsafe_alias_delegates_to_rate_and_reset(self, clock):
+        """unsafe_rate_and_reset is the same computation under a warning
+        name, not a divergent copy (the byte-identical bodies were deduped)."""
+        probe = RateProbe("r", clock)
+        probe.activate()
+        for _ in range(4):
+            probe.record()
+        clock.advance_by(40.0)
+        assert probe.unsafe_rate_and_reset() == pytest.approx(0.1)
+        # The alias resets the shared window exactly like rate_and_reset.
+        clock.advance_by(10.0)
+        assert probe.rate_and_reset() == 0.0
+        assert RateProbe.unsafe_rate_and_reset is not RateProbe.rate_and_reset
+
+
+class TestProbeTelemetry:
+    def test_activation_transitions_traced(self, clock):
+        from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey
+        from repro.metadata.registry import MetadataRegistry, MetadataSystem
+        from repro.metadata.scheduling import VirtualTimeScheduler
+
+        system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+
+        class Owner:
+            name = "node"
+
+        owner = Owner()
+        owner.metadata = MetadataRegistry(owner, system)
+        probe = owner.metadata.add_probe(CounterProbe("elements", clock))
+        key = MetadataKey("count")
+        owner.metadata.define(MetadataDefinition(
+            key, Mechanism.ON_DEMAND, compute=lambda ctx: probe.total,
+            monitors=("elements",),
+        ))
+        tel = system.enable_telemetry()
+        s1 = owner.metadata.subscribe(key)
+        s2 = owner.metadata.subscribe(key)  # shared: no second activation
+        s2.cancel()
+        s1.cancel()
+        activated = tel.bus.events(kind="probe.activated")
+        deactivated = tel.bus.events(kind="probe.deactivated")
+        assert [(e.node, e.name) for e in activated] == [("node", "elements")]
+        assert [(e.node, e.name) for e in deactivated] == [("node", "elements")]
+        assert tel.metrics.gauge("probes_active").value == 0

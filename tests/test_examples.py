@@ -39,6 +39,8 @@ class TestExamples:
         out = run_example("monitoring_dashboard", capsys)
         assert "estimated CPU usage" in out
         assert "mean estimated/measured CPU ratio" in out
+        assert "telemetry dashboard" in out
+        assert "why did join/estimate.cpu_usage refresh?" in out
 
     def test_adaptive_resource_management(self, capsys):
         out = run_example("adaptive_resource_management", capsys)
