@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Analyzer throughput benchmark: verifier and lock lint at plan scale.
+
+Pre-flight checking is only viable if it stays far below plan-deployment
+latency.  This benchmark times
+
+* :func:`repro.analysis.plan.verify_system` over synthetic metadata systems
+  of growing size (a chain-of-operators shape: every node publishes a
+  periodic measurement, a triggered estimate depending on the previous
+  node's estimate, and an on-demand reader), and
+* :func:`repro.analysis.lockcheck.lint_paths` over the shipped runtime
+  (``src/repro``), the same corpus the CI self-lint walks.
+
+Usage::
+
+    python benchmarks/bench_analysis.py [--nodes 50 200 500] \
+        [--output BENCH_analysis.json]
+
+The module is a standalone script on purpose — it is not collected by the
+tier-1 pytest run (``testpaths = ["tests"]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.lockcheck import lint_paths
+from repro.analysis.plan import build_index, verify_system
+from repro.common.clock import VirtualClock
+from repro.metadata.item import (
+    Mechanism,
+    MetadataDefinition,
+    MetadataKey,
+    NodeDep,
+    SelfDep,
+)
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+MEASURED = MetadataKey("measured.rate")
+ESTIMATE = MetadataKey("estimate.rate")
+READER = MetadataKey("ondemand.reader")
+
+
+class _Owner:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.metadata = None
+        self.upstream_nodes: list = []
+        self.downstream_nodes: list = []
+
+
+def build_chain(nodes: int) -> MetadataSystem:
+    """A frozen chain plan: 3 items and up to 3 edges per node."""
+    clock = VirtualClock()
+    system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+    previous: _Owner | None = None
+    for i in range(nodes):
+        owner = _Owner(f"op{i}")
+        owner.metadata = MetadataRegistry(owner, system)
+        owner.metadata.define(MetadataDefinition(
+            MEASURED, Mechanism.PERIODIC,
+            compute=lambda ctx: 1.0, period=50.0))
+        deps = [SelfDep(MEASURED)]
+        if previous is not None:
+            deps.append(NodeDep(previous, ESTIMATE))
+        owner.metadata.define(MetadataDefinition(
+            ESTIMATE, Mechanism.TRIGGERED,
+            compute=lambda ctx: 1.0, dependencies=deps))
+        owner.metadata.define(MetadataDefinition(
+            READER, Mechanism.ON_DEMAND,
+            compute=lambda ctx: 0.0, dependencies=[SelfDep(ESTIMATE)]))
+        previous = owner
+    return system
+
+
+def best_of(fn, rounds: int = 5) -> float:
+    timings = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+",
+                        default=[50, 200, 500])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+
+    report: dict = {"verifier": [], "lint": {}}
+
+    print(f"{'nodes':>6} {'items':>7} {'index (ms)':>11} {'verify (ms)':>12} "
+          f"{'findings':>9}")
+    for nodes in args.nodes:
+        system = build_chain(nodes)
+        index_s = best_of(lambda: build_index(system), args.rounds)
+        verify_s = best_of(lambda: verify_system(system), args.rounds)
+        findings = verify_system(system)
+        items = 3 * nodes
+        print(f"{nodes:>6} {items:>7} {index_s * 1e3:>11.2f} "
+              f"{verify_s * 1e3:>12.2f} {len(findings):>9}")
+        report["verifier"].append({
+            "nodes": nodes, "items": items,
+            "index_seconds": index_s, "verify_seconds": verify_s,
+            "findings": len(findings),
+        })
+        if findings:
+            raise SystemExit(
+                "synthetic chain plan must verify clean; got: "
+                + "; ".join(str(f) for f in findings))
+
+    lint_s = best_of(lambda: lint_paths([str(SRC_REPRO)]), args.rounds)
+    n_files = len(list(SRC_REPRO.rglob("*.py")))
+    print(f"\nlock lint over src/repro: {lint_s * 1e3:.1f} ms "
+          f"({n_files} files, {lint_s / n_files * 1e3:.2f} ms/file)")
+    report["lint"] = {"seconds": lint_s, "files": n_files}
+
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

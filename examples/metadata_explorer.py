@@ -27,10 +27,19 @@ from repro import (
     UniformValues,
     catalogue as md,
 )
+from repro.analysis import resolve_plan, verify_system
+from repro.costmodel.install import install_estimates
 from repro.metadata.introspect import render_report
+from repro.metadata.item import (
+    MetadataDefinition,
+    MetadataKey,
+    Mechanism,
+    SelfDep,
+)
 
 
-def main() -> None:
+def build_plan() -> QueryGraph:
+    """The healthy two-query demo plan (fluent builder, shared filter)."""
     graph = QueryGraph(default_metadata_period=50.0)
     qb = QueryBuilder(graph, prefix="demo")
     trades = qb.source("trades", Schema(("sym", "px"), element_size=40))
@@ -40,6 +49,35 @@ def main() -> None:
     filtered.sink("raw_feed")  # second query shares the filter
     qb.apply()
     graph.freeze()
+    # Give the stateless filter its estimate.output_rate so the window's
+    # inter-node estimate dependency resolves (the verifier flags the
+    # missing definition as MD002 otherwise — it caught exactly this).
+    install_estimates(graph)
+    return graph
+
+
+def build_miswired_plan() -> QueryGraph:
+    """The same plan with one deliberate Figure-5-style mistake: an
+    **on-demand** average over the filter's **periodically** refreshed
+    output rate.  Each read recomputes from whatever the last periodic
+    sample happened to be — unsynchronized with the refresh grid — which is
+    exactly what the verifier rejects as ``MD003`` (the fix is a triggered
+    handler fed by the periodic item's change events)."""
+    graph = build_plan()
+    registry = graph.node("liquid").metadata
+    rate = md.OUTPUT_RATE
+    registry.define(MetadataDefinition(
+        MetadataKey("demo.avg_output_rate"),
+        Mechanism.ON_DEMAND,
+        compute=lambda deps: deps[0],
+        dependencies=[SelfDep(rate)],
+        description="on-demand average over a periodic input (mis-wired)",
+    ))
+    return graph
+
+
+def main() -> None:
+    graph = build_plan()
 
     print("== catalogue before any subscription (nothing maintained) ==")
     print(render_report(graph.metadata_system, included_only=True) or
@@ -69,6 +107,17 @@ def main() -> None:
     memory.cancel()
     print(f"\nhandlers after cancelling: "
           f"{graph.metadata_system.included_handler_count}")
+
+    # Pre-flight static analysis (Sections 3.1-3.2): the healthy plan
+    # verifies clean; a deliberately mis-wired variant — an on-demand
+    # average over a periodic input — is rejected before any tuple flows.
+    print("\n== static analysis of the healthy plan ==")
+    findings = verify_system(resolve_plan(graph))
+    print("\n".join(str(f) for f in findings) or "no findings")
+
+    print("\n== static analysis of a mis-wired variant ==")
+    for finding in verify_system(resolve_plan(build_miswired_plan())):
+        print(finding)
 
 
 if __name__ == "__main__":

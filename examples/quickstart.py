@@ -28,8 +28,14 @@ from repro import (
 )
 
 
-def main() -> None:
-    # 1. Build the query graph (Figure 1's shape: sources -> operators -> sink).
+def build_plan() -> QueryGraph:
+    """Build and freeze the paper's running-example plan (Figure 1's shape:
+    sources -> windows -> join -> sink).
+
+    Also the plan factory the static verifier runs against in CI::
+
+        python -m repro.analysis --plan examples/quickstart.py:build_plan
+    """
     graph = QueryGraph(default_metadata_period=50.0)
     left = graph.add(Source("left", Schema(("k", "seq"), element_size=32)))
     right = graph.add(Source("right", Schema(("k", "seq"), element_size=32)))
@@ -42,6 +48,14 @@ def main() -> None:
                                (win_left, join), (win_right, join), (join, out)]:
         graph.connect(producer, consumer)
     graph.freeze()  # wiring complete: metadata registries come alive
+    return graph
+
+
+def main() -> None:
+    # 1. Build the query graph.
+    graph = build_plan()
+    left, right = graph.node("left"), graph.node("right")
+    join, out = graph.node("join"), graph.node("out")
 
     # 2. Discover what the join can tell us.
     print("Metadata available at the join:")

@@ -1,0 +1,59 @@
+"""Static analyzers for the metadata runtime.
+
+Two analyzer families behind one findings pipeline:
+
+* :mod:`repro.analysis.plan` — the **plan verifier**: pure functions over a
+  live :class:`~repro.metadata.registry.MetadataSystem` that reject the
+  paper's correctness pitfalls (Sections 3.1-3.2, Figures 4-5) before a
+  single tuple flows — dependency cycles, dangling edges, update-mechanism
+  misuse (codes ``MD001``-``MD008``).
+* :mod:`repro.analysis.lockcheck` — the **lock-discipline lint**: a stdlib
+  ``ast`` pass that knows the graph -> node -> item lock hierarchy and flags
+  inversions, blocking calls under locks, read->write upgrades, and silent
+  broad excepts in critical sections (codes ``LK001``-``LK004``).
+
+Both emit :class:`~repro.analysis.findings.Finding` objects; reporters,
+baseline handling, and the ``python -m repro.analysis`` CLI live in
+:mod:`~repro.analysis.report`, :mod:`~repro.analysis.baseline`, and
+:mod:`~repro.analysis.cli`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.findings import (
+    CODES,
+    CodeInfo,
+    Finding,
+    Severity,
+    count_by_severity,
+    finding_from_dict,
+    max_severity,
+    sort_findings,
+)
+from repro.analysis.lockcheck import lint_file, lint_paths, lint_source
+from repro.analysis.plan import PlanIndex, build_index, resolve_plan, verify_system
+from repro.analysis.report import parse_report, render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "apply_baseline",
+    "CODES",
+    "CodeInfo",
+    "Finding",
+    "Severity",
+    "count_by_severity",
+    "finding_from_dict",
+    "max_severity",
+    "sort_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "PlanIndex",
+    "build_index",
+    "resolve_plan",
+    "verify_system",
+    "parse_report",
+    "render_json",
+    "render_text",
+]

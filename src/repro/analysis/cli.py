@@ -1,0 +1,169 @@
+"""``python -m repro.analysis`` — run the analyzers from the command line.
+
+Usage::
+
+    python -m repro.analysis [paths...] [--plan SPEC]...
+                             [--format text|json] [--fail-on error|warning]
+                             [--baseline FILE] [--write-baseline FILE]
+                             [--output FILE] [--verbose]
+
+``paths`` are files or directories to run the lock-discipline lint over;
+``--plan`` names a plan factory for the graph verifier as either
+``package.module:factory`` or ``path/to/script.py:factory``.  The factory is
+called with no arguments and may return a ``MetadataSystem`` directly, any
+object with a ``metadata_system`` attribute (e.g. a frozen ``QueryGraph``),
+or a tuple/list containing one — :func:`repro.analysis.plan.resolve_plan`
+does the coercion.
+
+Exit status: **0** when no finding at or above the ``--fail-on`` threshold
+survives baselining, **1** when one does, **2** on usage or load errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import os
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.lockcheck import lint_paths
+from repro.analysis.plan import resolve_plan, verify_system
+from repro.analysis.report import render_json, render_text
+
+__all__ = ["main", "load_plan_factory"]
+
+
+def load_plan_factory(spec: str) -> Callable[[], object]:
+    """Resolve a ``module:factory`` / ``file.py:factory`` plan spec."""
+    target, sep, attr = spec.partition(":")
+    if not sep or not target or not attr:
+        raise ValueError(
+            f"--plan {spec!r}: expected 'module:factory' or 'file.py:factory'")
+    if target.endswith(".py") or os.sep in target:
+        if not os.path.exists(target):
+            raise ValueError(f"--plan {spec!r}: no such file: {target}")
+        name = "_repro_analysis_plan_" + \
+            os.path.splitext(os.path.basename(target))[0]
+        module_spec = importlib.util.spec_from_file_location(name, target)
+        if module_spec is None or module_spec.loader is None:
+            raise ValueError(f"--plan {spec!r}: cannot load {target}")
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules[name] = module
+        module_spec.loader.exec_module(module)
+    else:
+        module = importlib.import_module(target)
+    factory = getattr(module, attr, None)
+    if not callable(factory):
+        raise ValueError(
+            f"--plan {spec!r}: {target} has no callable {attr!r}")
+    return factory
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analyzers for the metadata runtime: plan "
+                    "verifier (MD001-MD008) and lock-discipline lint "
+                    "(LK001-LK004).")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint for lock discipline")
+    parser.add_argument(
+        "--plan", action="append", default=[], metavar="SPEC",
+        help="plan factory to verify, as module:factory or file.py:factory "
+             "(repeatable)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--fail-on", metavar="SEVERITY", default="error",
+        help="exit non-zero when a finding of this severity or higher "
+             "survives baselining (default: error)")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of grandfathered finding fingerprints")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write all current findings to FILE as the new baseline and "
+             "exit 0")
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the report to FILE (useful for CI artifacts)")
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="include per-finding details in the text report")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        fail_on = Severity.parse(args.fail_on)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if not args.paths and not args.plan:
+        parser.error("nothing to analyze: give lint paths and/or --plan")
+
+    findings: list[Finding] = []
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    if args.paths:
+        findings.extend(lint_paths(args.paths))
+
+    for spec in args.plan:
+        try:
+            factory = load_plan_factory(spec)
+            system = resolve_plan(factory())
+        except Exception as exc:
+            print(f"error: --plan {spec}: {exc}", file=sys.stderr)
+            return 2
+        findings.extend(verify_system(system))
+
+    findings = sort_findings(findings)
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(f"wrote baseline with {len(findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    suppressed_count = 0
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: --baseline: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = apply_baseline(findings, baseline)
+        suppressed_count = len(suppressed)
+        for fp in stale:
+            print(f"note: baseline entry {fp} "
+                  f"({baseline.entries[fp]}) no longer matches — "
+                  f"consider re-writing the baseline", file=sys.stderr)
+
+    if args.format == "json":
+        report = render_json(findings)
+    else:
+        report = render_text(findings, verbose=args.verbose)
+        if suppressed_count:
+            report += f"\n({suppressed_count} baselined finding(s) hidden)"
+    print(report)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(render_json(findings))
+            fh.write("\n")
+
+    failing = [f for f in findings if f.severity.rank >= fail_on.rank]
+    return 1 if failing else 0

@@ -1,0 +1,219 @@
+"""Shared finding model of the static-analysis pipeline.
+
+Both analyzer families — the plan verifier (:mod:`repro.analysis.plan`) and
+the lock-discipline lint (:mod:`repro.analysis.lockcheck`) — emit
+:class:`Finding` objects with a stable **code**, a **severity**, and enough
+location information to act on: graph findings point at ``node/key``
+subjects, source findings at ``file:line`` inside a function scope.
+
+Codes are registered in :data:`CODES` with their default severity and a
+one-line title; the documentation table in ``docs/METADATA_GUIDE.md`` and
+the reporters render from the same registry, so the two cannot drift.
+
+Findings are plain data: :meth:`Finding.to_dict` / :func:`finding_from_dict`
+round-trip through JSON (the CLI's ``--format json`` schema), and
+:meth:`Finding.fingerprint` is the stable identity used by the baseline file
+to grandfather pre-existing findings without pinning line numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "CODES",
+    "CodeInfo",
+    "finding_from_dict",
+    "count_by_severity",
+    "max_severity",
+    "sort_findings",
+]
+
+
+class Severity(enum.Enum):
+    """Finding severity; comparable via :attr:`rank` (error is highest)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+_SEVERITY_RANK: dict[Severity, int] = {
+    Severity.ERROR: 2,
+    Severity.WARNING: 1,
+    Severity.INFO: 0,
+}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one finding code."""
+
+    code: str
+    severity: Severity
+    title: str
+    paper: str = ""  # section / figure the check reproduces, if any
+
+
+#: Every code either analyzer family can emit.  ``MD``-codes come from the
+#: plan verifier (metadata dependency graphs and update-mechanism misuse);
+#: ``LK``-codes from the lock-discipline lint.
+CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo("MD001", Severity.ERROR,
+                 "dependency cycle (intra- or inter-node)", "Section 2.4"),
+        CodeInfo("MD002", Severity.ERROR,
+                 "dangling dependency edge (target node or item not "
+                 "registered)", "Section 2.3"),
+        CodeInfo("MD003", Severity.ERROR,
+                 "on-demand handler aggregates periodically-updated inputs "
+                 "without event notification", "Section 3.2.3, Figure 5"),
+        CodeInfo("MD004", Severity.ERROR,
+                 "concurrent on-demand measurements interfere on a shared "
+                 "gathering probe", "Section 3.1, Figure 4"),
+        CodeInfo("MD005", Severity.ERROR,
+                 "periodic handler with multiple consumers but isolation "
+                 "disabled", "Section 3.2.2"),
+        CodeInfo("MD006", Severity.WARNING,
+                 "triggered handler with empty inverted-dependency fan-in "
+                 "(never fires)", "Section 3.2.3"),
+        CodeInfo("MD007", Severity.WARNING,
+                 "period aliasing: periodic handler depends on a slower "
+                 "periodic input", "Section 3.2.2"),
+        CodeInfo("MD008", Severity.WARNING,
+                 "duplicate dependency subscription defeats handler sharing",
+                 "Section 3.2.3"),
+        CodeInfo("LK000", Severity.ERROR,
+                 "source file could not be parsed"),
+        CodeInfo("LK001", Severity.ERROR,
+                 "lock acquired out of hierarchy order (graph -> node -> "
+                 "item)", "Section 4.2"),
+        CodeInfo("LK002", Severity.WARNING,
+                 "blocking call while holding a registry/node/item lock"),
+        CodeInfo("LK003", Severity.ERROR,
+                 "RWLock write-acquire while holding the same lock's read "
+                 "side (upgrade is rejected at runtime)"),
+        CodeInfo("LK004", Severity.WARNING,
+                 "broad except swallows errors inside a lock-held region"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verified defect or smell.
+
+    ``subject`` identifies a graph location (``node/key``) for plan
+    findings; ``file``/``line``/``scope`` identify a source location for
+    lint findings.  ``details`` carries check-specific structured data
+    (e.g. the full cycle path for ``MD001``).
+    """
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    subject: str = ""
+    file: str = ""
+    line: int = 0
+    scope: str = ""
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        """Human-readable location: ``file:line`` or the graph subject."""
+        if self.file:
+            return f"{self.file}:{self.line}" if self.line else self.file
+        return self.subject
+
+    def fingerprint(self) -> str:
+        """Stable identity for the baseline file.
+
+        Line numbers are deliberately excluded so unrelated edits that move
+        a grandfathered finding do not un-baseline it; the enclosing scope
+        and the normalized message keep the identity precise.
+        """
+        normalized = " ".join(self.message.split())
+        raw = "|".join((self.code, self.file or self.subject, self.scope,
+                        normalized))
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.subject:
+            data["subject"] = self.subject
+        if self.file:
+            data["file"] = self.file
+            data["line"] = self.line
+        if self.scope:
+            data["scope"] = self.scope
+        if self.details:
+            data["details"] = dict(self.details)
+        return data
+
+    def __str__(self) -> str:
+        where = self.location
+        prefix = f"{where}: " if where else ""
+        return f"{prefix}{self.code} {self.severity.value}: {self.message}"
+
+
+def finding_from_dict(data: Mapping[str, Any]) -> Finding:
+    """Inverse of :meth:`Finding.to_dict` (``fingerprint`` is recomputed)."""
+    return Finding(
+        code=str(data["code"]),
+        message=str(data["message"]),
+        severity=Severity.parse(str(data.get("severity", "error"))),
+        subject=str(data.get("subject", "")),
+        file=str(data.get("file", "")),
+        line=int(data.get("line", 0)),
+        scope=str(data.get("scope", "")),
+        details=dict(data.get("details", {})),
+    )
+
+
+def count_by_severity(findings: Iterable[Finding]) -> dict[str, int]:
+    counts = {severity.value: 0 for severity in Severity}
+    for finding in findings:
+        counts[finding.severity.value] += 1
+    return counts
+
+
+def max_severity(findings: Iterable[Finding]) -> Severity | None:
+    """Highest severity present, or ``None`` for an empty list."""
+    best: Severity | None = None
+    for finding in findings:
+        if best is None or finding.severity.rank > best.rank:
+            best = finding.severity
+    return best
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Stable report order: severity (errors first), then location, code."""
+    return sorted(
+        findings,
+        key=lambda f: (-f.severity.rank, f.file or f.subject, f.line, f.code),
+    )

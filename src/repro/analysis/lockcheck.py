@@ -1,0 +1,383 @@
+"""Lock-discipline lint over the runtime's source (codes ``LK001``+).
+
+PR 1 established the documented lock hierarchy **graph -> node -> item**
+(``repro.metadata.locks.LOCK_HIERARCHY``, docs/METADATA_GUIDE.md
+"Concurrency model") by hand; nothing so far *prevented* the next change
+from silently violating it.  This module is that tooling: a stdlib-``ast``
+pass that walks every function, tracks the locks held along each
+``with``-statement nesting, and flags
+
+=====  ====================================================================
+LK001  acquiring an earlier-level lock while holding a later one (e.g. an
+       item lock held while the node or graph lock is requested) — the
+       classic lock-inversion deadlock shape
+LK002  blocking calls (``join``, ``sleep``, queue ``get``) while holding a
+       registry/node/item lock
+LK003  ``ReentrantRWLock`` write-acquire while the same lock's read side is
+       held in the same function (read->write upgrade is rejected at
+       runtime; only write->read downgrade is allowed)
+LK004  a bare/broad ``except`` whose body is only ``pass`` inside a
+       lock-held region — errors swallowed while invariants are half-
+       updated are the worst place to swallow errors
+=====  ====================================================================
+
+How the hierarchy is encoded
+----------------------------
+
+The lint recognizes hierarchy locks *by naming convention*, which the
+runtime follows strictly: an expression ``E.read()`` / ``E.write()`` used as
+a context manager is a hierarchy acquisition when the name or attribute at
+the end of ``E`` matches
+
+* ``structure_lock`` / ``graph_lock``  -> level **graph**
+* ``node_lock``                        -> level **node**
+* ``item_lock`` / ``_lock``            -> level **item**
+
+(In this codebase ``_lock`` attributes guarded by ``.read()``/``.write()``
+are always per-handler item locks; plain ``with self._lock:`` mutexes do
+not match because they carry no read/write call.)  Plain mutexes and
+conditions (``_mutex``, ``_cond``, names ending in ``lock``) are tracked
+only as generic lock-held regions for LK004.
+
+The analysis is intentionally per-function: cross-function lock flows (a
+callee acquiring under a caller's lock) are invisible, which keeps the lint
+free of false positives at the cost of missing inter-procedural inversions
+— those are what `tests/test_concurrency_stress.py` is for.
+
+Suppression: append ``# analysis: ignore[LK00x]`` (or a bare
+``# analysis: ignore``) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import CODES, Finding
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+#: Hierarchy levels in acquisition order (mirrors locks.LOCK_HIERARCHY).
+LEVELS: dict[str, int] = {"graph": 0, "node": 1, "item": 2}
+
+_LEVEL_BY_NAME: dict[str, str] = {
+    "structure_lock": "graph",
+    "graph_lock": "graph",
+    "node_lock": "node",
+    "item_lock": "item",
+    "_lock": "item",
+}
+
+_GENERIC_LOCK_RE = re.compile(r"(?:^|_)(?:lock|mutex|cond)$")
+
+_IGNORE_RE = re.compile(r"#\s*analysis:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    """Trailing identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+@dataclass(frozen=True)
+class _HeldLock:
+    level: str | None      # hierarchy level, or None for generic mutexes
+    mode: str              # "read" | "write" | "plain"
+    expr: str              # ast.unparse of the lock expression
+    line: int
+
+
+def _classify_with_item(item: ast.withitem) -> _HeldLock | None:
+    """Classify one ``with`` context manager as a lock acquisition."""
+    ctx = item.context_expr
+    # E.read() / E.write(): RW acquisition; hierarchy level from E's name.
+    if (isinstance(ctx, ast.Call) and isinstance(ctx.func, ast.Attribute)
+            and ctx.func.attr in ("read", "write") and not ctx.args
+            and not ctx.keywords):
+        base = ctx.func.value
+        name = _terminal_name(base)
+        level = _LEVEL_BY_NAME.get(name or "")
+        return _HeldLock(level=level, mode=ctx.func.attr,
+                         expr=ast.unparse(base), line=ctx.lineno)
+    # Bare ``with E:`` where E smells like a mutex/lock -> generic region.
+    name = _terminal_name(ctx)
+    if name is not None and _GENERIC_LOCK_RE.search(name):
+        return _HeldLock(level=None, mode="plain",
+                         expr=ast.unparse(ctx), line=ctx.lineno)
+    return None
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types: Sequence[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = handler.type.elts
+    else:
+        types = [handler.type]
+    broad = {"Exception", "BaseException"}
+    return any(_terminal_name(t) in broad for t in types)
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing but ``pass``/``...``."""
+    body = list(handler.body)
+    if body and isinstance(body[0], ast.Expr) and \
+            isinstance(body[0].value, ast.Constant) and \
+            isinstance(body[0].value.value, str):
+        body = body[1:]  # tolerate a docstring-style comment expression
+    if not body:
+        return True
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+_BLOCKING_SLEEP = {"sleep"}
+
+
+def _blocking_call(call: ast.Call) -> str | None:
+    """Name a blocking operation, or None when the call looks safe.
+
+    Heuristics tuned against this codebase:
+
+    * ``time.sleep(x)`` / ``sleep(x)`` — always blocking;
+    * ``x.join()`` / ``x.join(timeout)`` — thread join; ``str.join`` takes
+      an iterable argument, so calls whose receiver is a string literal or
+      whose single argument is a comprehension/list/generator are skipped;
+    * ``x.get(...)`` where the receiver's name mentions a queue — blocking
+      queue read (plain ``dict.get`` receivers do not match).
+    """
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _BLOCKING_SLEEP:
+        return func.id
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        if func.attr == "sleep":
+            return ast.unparse(func)
+        if func.attr == "join":
+            if isinstance(receiver, ast.Constant):
+                return None  # "sep".join(...)
+            if call.keywords and not all(
+                    kw.arg == "timeout" for kw in call.keywords):
+                return None
+            if len(call.args) > 1:
+                return None
+            if call.args and isinstance(
+                    call.args[0],
+                    (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.List,
+                     ast.Tuple, ast.Dict, ast.DictComp, ast.Call, ast.Name,
+                     ast.Attribute, ast.Subscript)):
+                # join(iterable) — overwhelmingly str.join in practice.
+                return None
+            return ast.unparse(func)
+        if func.attr == "get":
+            name = _terminal_name(receiver) or ""
+            if "queue" in name.lower() or "pending" in name.lower():
+                return ast.unparse(func)
+    return None
+
+
+class _FunctionLinter(ast.NodeVisitor):
+    """Walks one function body tracking the stack of held locks."""
+
+    def __init__(self, path: str, scope: str, source_lines: Sequence[str],
+                 findings: list[Finding]) -> None:
+        self.path = path
+        self.scope = scope
+        self.source_lines = source_lines
+        self.findings = findings
+        self.held: list[_HeldLock] = []
+
+    # -- reporting ---------------------------------------------------------
+
+    def _suppressed(self, line: int, code: str) -> bool:
+        if 1 <= line <= len(self.source_lines):
+            match = _IGNORE_RE.search(self.source_lines[line - 1])
+            if match:
+                codes = match.group("codes")
+                if codes is None:
+                    return True
+                return code in {c.strip() for c in codes.split(",")}
+        return False
+
+    def _report(self, code: str, line: int, message: str, **details: object) -> None:
+        if self._suppressed(line, code):
+            return
+        self.findings.append(Finding(
+            code=code, message=message, severity=CODES[code].severity,
+            file=self.path, line=line, scope=self.scope,
+            details=dict(details)))
+
+    # -- nesting ------------------------------------------------------------
+
+    def _hierarchy_held(self) -> list[_HeldLock]:
+        return [lock for lock in self.held if lock.level is not None]
+
+    def visit_With(self, node: ast.With) -> None:
+        self._handle_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._handle_with(node)
+
+    def _handle_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired: list[_HeldLock] = []
+        for item in node.items:
+            lock = _classify_with_item(item)
+            if lock is None:
+                continue
+            if lock.level is not None:
+                self._check_order(lock)
+                self._check_upgrade(lock)
+            acquired.append(lock)
+            self.held.append(lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    def _check_order(self, lock: _HeldLock) -> None:
+        level = LEVELS[lock.level]  # type: ignore[index]
+        for held in self._hierarchy_held():
+            held_level = LEVELS[held.level]  # type: ignore[index]
+            if held_level > level:
+                self._report(
+                    "LK001", lock.line,
+                    f"out-of-order lock acquisition: {lock.level}-level "
+                    f"lock `{lock.expr}` requested while holding "
+                    f"{held.level}-level lock `{held.expr}` (acquired at "
+                    f"line {held.line}); the documented hierarchy is "
+                    f"graph -> node -> item, never backwards",
+                    requested=lock.expr, held=held.expr,
+                    requested_level=lock.level, held_level=held.level)
+
+    def _check_upgrade(self, lock: _HeldLock) -> None:
+        if lock.mode != "write":
+            return
+        for held in self.held:
+            if held.mode == "read" and held.expr == lock.expr:
+                self._report(
+                    "LK003", lock.line,
+                    f"write-acquire of `{lock.expr}` while its read side "
+                    f"is held (line {held.line}): ReentrantRWLock rejects "
+                    f"read->write upgrades at runtime; acquire write "
+                    f"first and rely on the write->read downgrade instead",
+                    lock=lock.expr)
+
+    # -- blocking calls and swallowed errors -------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._hierarchy_held():
+            blocking = _blocking_call(node)
+            if blocking is not None:
+                holder = self._hierarchy_held()[-1]
+                self._report(
+                    "LK002", node.lineno,
+                    f"blocking call `{blocking}` while holding "
+                    f"{holder.level}-level lock `{holder.expr}` (acquired "
+                    f"at line {holder.line}); park the work outside the "
+                    f"critical section",
+                    call=blocking, lock=holder.expr)
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if self.held:
+            for handler in node.handlers:
+                if _is_broad_handler(handler) and _swallows_silently(handler):
+                    holder = self.held[-1]
+                    what = ("bare except" if handler.type is None
+                            else f"except {ast.unparse(handler.type)}")
+                    self._report(
+                        "LK004", handler.lineno,
+                        f"{what}: pass inside a lock-held region "
+                        f"(`{holder.expr}` since line {holder.line}) "
+                        f"swallows errors while shared state may be "
+                        f"half-updated; log the failure with the "
+                        f"handler's key or re-raise",
+                        lock=holder.expr)
+        self.generic_visit(node)
+
+    # Nested function definitions get a fresh lock context (a nested def's
+    # body does not run under the enclosing with-statement).
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        _lint_function(self.path, node, self.scope, self.source_lines,
+                       self.findings)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        _lint_function(self.path, node, self.scope, self.source_lines,
+                       self.findings)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return  # lambdas cannot contain with-statements
+
+
+def _lint_function(path: str, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                   parent_scope: str, source_lines: Sequence[str],
+                   findings: list[Finding]) -> None:
+    scope = f"{parent_scope}.{node.name}" if parent_scope else node.name
+    linter = _FunctionLinter(path, scope, source_lines, findings)
+    for stmt in node.body:
+        linter.visit(stmt)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text."""
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(Finding(
+            code="LK000", severity=CODES["LK000"].severity,
+            message=f"could not parse: {exc.msg}",
+            file=path, line=exc.lineno or 0))
+        return findings
+    source_lines = source.splitlines()
+
+    def walk(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _lint_function(path, child, scope, source_lines, findings)
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{scope}.{child.name}" if scope else child.name)
+            else:
+                walk(child, scope)
+
+    walk(tree, "")
+    return findings
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        elif path.endswith(".py"):
+            yield path
+
+
+def lint_paths(paths: Iterable[str]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path))
+    return findings

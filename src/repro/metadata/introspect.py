@@ -24,7 +24,7 @@ from repro.metadata.registry import MetadataRegistry, MetadataSystem
 __all__ = ["describe_registry", "describe_system", "render_report", "to_json"]
 
 
-def describe_registry(registry: MetadataRegistry) -> dict:
+def describe_registry(registry: MetadataRegistry) -> dict[str, Any]:
     """Structured snapshot of one node's (or module's) metadata."""
     now = registry.clock.now()
     items = []
@@ -59,13 +59,25 @@ def describe_registry(registry: MetadataRegistry) -> dict:
     }
 
 
-def describe_system(system: MetadataSystem) -> dict:
-    """Snapshot of every registry plus global accounting and telemetry."""
+def describe_system(system: MetadataSystem) -> dict[str, Any]:
+    """Snapshot of every registry plus global accounting, telemetry, and the
+    static verifier's verdict on the current plan."""
+    # Imported lazily: introspection must not pull in the analyzers (and
+    # their AST machinery) unless a snapshot is actually taken.
+    from repro.analysis.findings import count_by_severity
+    from repro.analysis.plan import verify_system
+
     telemetry = system.telemetry
+    findings = verify_system(system, emit_telemetry=False)
     return {
         "stats": system.stats(),
         "telemetry": telemetry.describe() if telemetry is not None
         else {"enabled": False},
+        "analysis": {
+            "clean": not findings,
+            "summary": count_by_severity(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
         "registries": [describe_registry(r) for r in system.registries()],
     }
 

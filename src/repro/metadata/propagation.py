@@ -316,7 +316,7 @@ class PropagationEngine:
 
     # -- introspection ------------------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Counter snapshot for the benchmark harness.
 
         Taken under the engine mutex so the values are mutually consistent

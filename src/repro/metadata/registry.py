@@ -29,6 +29,7 @@ and global accounting.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -68,6 +69,11 @@ from repro.telemetry.events import (
 from repro.telemetry.hub import Telemetry
 
 __all__ = ["MetadataSystem", "MetadataRegistry", "MetadataSubscription"]
+
+#: Failures on cleanup paths (rollback of a failed subscribe, unregister of
+#: an unknown registry) are logged here rather than raised: raising would
+#: mask the original error the cleanup was handling.
+log = logging.getLogger(__name__)
 
 
 class MetadataSystem:
@@ -121,7 +127,14 @@ class MetadataSystem:
             try:
                 self._registries.remove(registry)
             except ValueError:
-                pass
+                # Double-unregister is tolerated (idempotent uninstall) but
+                # no longer invisible: it usually means two teardown paths
+                # both think they own this registry.
+                log.warning(
+                    "unregister of unknown registry %r (owner %s): already "
+                    "removed or never registered",
+                    registry, getattr(registry.owner, "name", registry.owner),
+                )
 
     def registries(self) -> Sequence["MetadataRegistry"]:
         with self._accounting_mutex:
@@ -189,7 +202,7 @@ class MetadataSystem:
                 subscriptions.append(registry.subscribe(key))
         return subscriptions
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Global accounting snapshot for benchmarks and the profiler."""
         with self._accounting_mutex:
             created = self.handlers_created
@@ -454,10 +467,20 @@ class MetadataRegistry:
                     dep_handler.attach_dependent(handler)
         except Exception:
             # Roll back partially included dependencies so a failed subscribe
-            # leaves the system unchanged.
+            # leaves the system unchanged.  A failing cleanup step must not
+            # mask the inclusion error being propagated — log it and keep
+            # rolling back the remaining dependencies.
             for spec, dep_handler in handler.dependency_handlers:
-                dep_handler.detach_dependent(handler)
-                dep_handler.registry._exclude(dep_handler.key)
+                try:
+                    dep_handler.detach_dependent(handler)
+                    dep_handler.registry._exclude(dep_handler.key)
+                except Exception:
+                    log.exception(
+                        "rollback of failed include %s/%r: could not exclude "
+                        "dependency %s/%r",
+                        self._owner_name(), key,
+                        dep_handler.registry._owner_name(), dep_handler.key,
+                    )
             raise
         finally:
             stack.pop()
@@ -470,14 +493,31 @@ class MetadataRegistry:
         try:
             handler.on_included()
         except Exception:
-            # Initial computation failed: undo the inclusion entirely.
+            # Initial computation failed: undo the inclusion entirely.  As
+            # above, cleanup failures are logged with the failing handler's
+            # key instead of masking the computation error.
             del self._handlers[key]
             handler.removed = True
             for probe_name in definition.monitors:
-                self.probe(probe_name).deactivate()
+                try:
+                    self.probe(probe_name).deactivate()
+                except Exception:
+                    log.exception(
+                        "undo of failed inclusion %s/%r: could not "
+                        "deactivate probe %r",
+                        self._owner_name(), key, probe_name,
+                    )
             for spec, dep_handler in handler.dependency_handlers:
-                dep_handler.detach_dependent(handler)
-                dep_handler.registry._exclude(dep_handler.key)
+                try:
+                    dep_handler.detach_dependent(handler)
+                    dep_handler.registry._exclude(dep_handler.key)
+                except Exception:
+                    log.exception(
+                        "undo of failed inclusion %s/%r: could not exclude "
+                        "dependency %s/%r",
+                        self._owner_name(), key,
+                        dep_handler.registry._owner_name(), dep_handler.key,
+                    )
             raise
         if tel is not None:
             tel.emit(IncludeEvent(span=span, node=self._owner_name(),

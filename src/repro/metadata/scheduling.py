@@ -253,7 +253,7 @@ class ThreadedScheduler(PeriodicScheduler):
         with self._cond:
             return self._active
 
-    def task_snapshot(self, task: PeriodicTask) -> dict:
+    def task_snapshot(self, task: PeriodicTask) -> dict[str, Any]:
         """Consistent snapshot of a task's counters (taken under the lock)."""
         with self._cond:
             return {

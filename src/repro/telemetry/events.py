@@ -56,6 +56,7 @@ __all__ = [
     "WaveEnd",
     "SchedulerRefresh",
     "SchedulerCancel",
+    "AnalysisFinding",
     "key_of",
     "node_of",
     "event_to_dict",
@@ -276,7 +277,22 @@ class SchedulerCancel(TraceEvent):
     in_flight: bool = False
 
 
-def event_to_dict(event: TraceEvent) -> dict:
+@dataclass(slots=True)
+class AnalysisFinding(TraceEvent):
+    """The static verifier reported one finding against this system.
+
+    Emitted by :func:`repro.analysis.plan.verify_system` when the analyzed
+    system has telemetry attached; aggregated into the
+    ``analysis_findings_total{code=...}`` counter so dashboards can watch
+    plan health alongside the runtime series."""
+
+    kind = "analysis.finding"
+    code: str = ""
+    severity: str = ""
+    subject: str = ""
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
     """Flat JSON-friendly dict of an event (``kind`` first)."""
     data = {"kind": event.kind}
     data.update(dataclasses.asdict(event))

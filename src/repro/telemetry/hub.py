@@ -118,10 +118,14 @@ class Telemetry:
             m.gauge("probes_active").inc()
         elif isinstance(event, ev.ProbeDeactivated):
             m.gauge("probes_active").dec()
+        elif isinstance(event, ev.AnalysisFinding):
+            m.counter(
+                "analysis_findings_total", {"code": event.code}
+            ).inc()
 
     # -- introspection ------------------------------------------------------
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Plain-data summary for ``introspect.describe_system``."""
         return {
             "enabled": True,

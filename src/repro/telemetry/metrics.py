@@ -223,7 +223,7 @@ class MetricsRegistry:
             )
         return iter(sorted(instruments, key=lambda i: (i.name, i.labels)))
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Plain-data view of every series (used by ``describe_system``)."""
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         for instrument in self._series():

@@ -1,0 +1,224 @@
+"""Lock-discipline lint tests: each LK code on a minimal fixture, the
+suppression comment, the false-positive guards, and the acceptance gate that
+``src/repro`` at HEAD carries zero lint errors."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.analysis import Severity, lint_paths, lint_source
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+
+
+def lint(snippet: str):
+    return lint_source(textwrap.dedent(snippet), "fixture.py")
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestHierarchyOrder:
+    def test_item_before_node_lk001(self):
+        findings = lint("""
+            class R:
+                def bad(self):
+                    with self.handler._lock.write():
+                        with self.node_lock.read():
+                            pass
+        """)
+        assert codes(findings) == ["LK001"]
+        finding = findings[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.file == "fixture.py"
+        assert finding.line == 5  # the offending acquisition, with file:line
+        assert finding.scope == "R.bad"
+        assert "item-level" in finding.message
+        assert "node-level" in finding.message
+
+    def test_node_before_graph_lk001(self):
+        findings = lint("""
+            def bad(self):
+                with self.node_lock.write():
+                    with self.structure_lock.write():
+                        pass
+        """)
+        assert codes(findings) == ["LK001"]
+
+    def test_correct_order_is_clean(self):
+        findings = lint("""
+            def good(self):
+                with self.structure_lock.write():
+                    with self.node_lock.write():
+                        with self.handler._lock.write():
+                            pass
+        """)
+        assert findings == []
+
+    def test_nested_function_resets_context(self):
+        """A nested def's body does not run under the enclosing lock."""
+        findings = lint("""
+            def outer(self):
+                with self.handler._lock.write():
+                    def callback():
+                        with self.node_lock.read():
+                            pass
+                    return callback
+        """)
+        assert findings == []
+
+
+class TestBlockingCalls:
+    def test_join_sleep_queue_get_lk002(self):
+        findings = lint("""
+            import time
+            def bad(self):
+                with self.node_lock.write():
+                    self.worker.join()
+                    time.sleep(1)
+                    item = self.task_queue.get()
+        """)
+        assert codes(findings) == ["LK002", "LK002", "LK002"]
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_str_join_and_dict_get_not_flagged(self):
+        findings = lint("""
+            def good(self):
+                with self.node_lock.write():
+                    name = ", ".join(["a", "b"])
+                    parts = sep.join(pieces)
+                    value = mapping.get("key")
+        """)
+        assert findings == []
+
+    def test_blocking_outside_lock_is_fine(self):
+        findings = lint("""
+            import time
+            def good(self):
+                time.sleep(1)
+                self.worker.join()
+        """)
+        assert findings == []
+
+
+class TestUpgrade:
+    def test_write_under_read_lk003(self):
+        findings = lint("""
+            def bad(self):
+                with self.node_lock.read():
+                    with self.node_lock.write():
+                        pass
+        """)
+        assert codes(findings) == ["LK003"]
+        assert "upgrade" in findings[0].message
+
+    def test_write_then_read_downgrade_is_fine(self):
+        findings = lint("""
+            def good(self):
+                with self.node_lock.write():
+                    with self.node_lock.read():
+                        pass
+        """)
+        assert findings == []
+
+    def test_different_locks_not_confused(self):
+        findings = lint("""
+            def good(self):
+                with self.structure_lock.read():
+                    with self.node_lock.write():
+                        pass
+        """)
+        assert findings == []
+
+
+class TestSwallowedExceptions:
+    def test_broad_except_pass_under_lock_lk004(self):
+        findings = lint("""
+            def bad(self):
+                with self._mutex:
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+        """)
+        assert codes(findings) == ["LK004"]
+
+    def test_bare_except_under_rw_lock_lk004(self):
+        findings = lint("""
+            def bad(self):
+                with self.node_lock.write():
+                    try:
+                        risky()
+                    except:
+                        ...
+        """)
+        assert codes(findings) == ["LK004"]
+
+    def test_handled_except_is_fine(self):
+        findings = lint("""
+            def good(self):
+                with self._mutex:
+                    try:
+                        risky()
+                    except Exception:
+                        log.exception("risky failed")
+        """)
+        assert findings == []
+
+    def test_narrow_except_is_fine(self):
+        findings = lint("""
+            def good(self):
+                with self._mutex:
+                    try:
+                        risky()
+                    except KeyError:
+                        pass
+        """)
+        assert findings == []
+
+    def test_except_outside_lock_is_fine(self):
+        findings = lint("""
+            def good(self):
+                try:
+                    risky()
+                except Exception:
+                    pass
+        """)
+        assert findings == []
+
+
+class TestSuppression:
+    def test_ignore_comment_suppresses(self):
+        findings = lint("""
+            def tolerated(self):
+                with self.handler._lock.write():
+                    with self.node_lock.read():  # analysis: ignore[LK001]
+                        pass
+        """)
+        assert findings == []
+
+    def test_ignore_comment_is_code_specific(self):
+        findings = lint("""
+            def tolerated(self):
+                with self.handler._lock.write():
+                    with self.node_lock.read():  # analysis: ignore[LK003]
+                        pass
+        """)
+        assert codes(findings) == ["LK001"]
+
+
+class TestParseFailure:
+    def test_syntax_error_reports_lk000(self):
+        findings = lint_source("def broken(:\n", "broken.py")
+        assert codes(findings) == ["LK000"]
+        assert findings[0].file == "broken.py"
+
+
+class TestSelfLint:
+    def test_src_repro_has_no_errors_at_head(self):
+        """Acceptance gate: the shipped runtime obeys its own discipline."""
+        findings = lint_paths([REPO_SRC])
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == [], "\n".join(str(f) for f in errors)

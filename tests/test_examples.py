@@ -65,3 +65,12 @@ class TestExamples:
         out = run_example("metadata_explorer", capsys)
         assert "working set after two subscriptions" in out
         assert "handlers after cancelling: 0" in out
+        # The healthy plan passes the static verifier; the deliberately
+        # mis-wired variant is rejected with the Figure-5 code.
+        healthy, _, miswired = out.partition(
+            "== static analysis of a mis-wired variant ==")
+        assert "static analysis of the healthy plan" in healthy
+        assert "no findings" in healthy.split(
+            "static analysis of the healthy plan ==")[1]
+        assert "MD003" in miswired
+        assert "demo.avg_output_rate" in miswired
