@@ -65,9 +65,9 @@ class NoHooksEngine(PropagationEngine):
     hook code did not exist?".
     """
 
-    def _start(self, source) -> None:
+    def _start(self, sources) -> None:
         with self._mutex:
-            self._pending.append(source)
+            self._pending.extend(sources)
             if self._drainer is not None:
                 return
             self._drainer = threading.get_ident()

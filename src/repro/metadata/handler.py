@@ -208,11 +208,16 @@ class MetadataHandler:
             if id(dependent) in self._dependents:
                 return False
             self._dependents[id(dependent)] = dependent
-            return True
+        # Outside the dependents mutex (the engine mutex is a leaf lock):
+        # the dependent graph changed, so cached wave plans are stale.
+        self.registry.propagation.bump_topology()
+        return True
 
     def detach_dependent(self, dependent: "MetadataHandler") -> None:
         with self._dependents_mutex:
-            self._dependents.pop(id(dependent), None)
+            detached = self._dependents.pop(id(dependent), None) is not None
+        if detached:
+            self.registry.propagation.bump_topology()
 
     def dependents(self) -> Sequence["MetadataHandler"]:
         with self._dependents_mutex:

@@ -26,6 +26,40 @@ change must be reflected immediately) enter through :meth:`event_fired`: the
 source is treated as changed without being recomputed, and its on-demand
 ``get`` recomputes lazily when a refreshed dependent reads it.
 
+Cached wave plans
+-----------------
+
+Dependency wiring changes only on subscription-graph structure operations
+(include / exclude / define / undefine), while waves fire on every metadata
+change — orders of magnitude more often in steady state.  The engine
+therefore memoizes, per source handler, the topologically ordered structural
+closure of its dependents (the *wave plan*), keyed by a monotonically
+increasing **topology epoch** that :class:`~repro.metadata.registry
+.MetadataRegistry` bumps through :meth:`bump_topology` on every wiring
+change.  A wave whose source has a fresh plan skips the longest-path
+relaxation of :meth:`_collect_wave` entirely and runs a single linear pass
+over the plan.
+
+The plan caches only *structure*.  Reaction hooks
+(``on_dependency_changed``) are dynamic, so they are still evaluated once
+per edge on every wave; membership of the effective wave (which plan
+entries actually refresh) is re-derived from those hook results each time.
+Cached and uncached execution are therefore equivalent: identical
+``refresh_count`` / ``suppressed_count`` accounting on identical workloads
+(pinned by the equivalence stress tests).
+
+Wave coalescing
+---------------
+
+When the drainer finds several queued sources, it merges them into one
+**multi-source wave**: the union closure is ordered once and every shared
+dependent recomputes once, reading all merged source values — instead of
+once per source.  This preserves glitch-freedom across sources (dependents
+never observe half of a batch) and is the batching analogue of incremental
+view maintenance.  ``wave_count`` still counts *sources processed* (exact
+lost-wave accounting survives coalescing); ``drain_count`` counts physical
+passes and ``coalesced_source_count`` the sources that shared one.
+
 Thread safety
 -------------
 
@@ -52,11 +86,12 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.errors import MetadataNotIncludedError
 from repro.telemetry.events import (
     DrainHandoff,
+    WaveCoalesced,
     WaveEnd,
     WaveEnqueued,
     WaveHop,
@@ -73,6 +108,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["PropagationEngine"]
 
+#: One memoized wave-plan entry: the handler and its (deduplicated)
+#: structural predecessors *within the plan*.  Predecessors always precede
+#: the entry in plan order, so one forward pass can decide membership and
+#: changed-ness incrementally.
+_PlanEntry = "tuple[MetadataHandler, tuple[MetadataHandler, ...]]"
+
 
 class PropagationEngine:
     """Orders and executes triggered metadata updates.
@@ -82,19 +123,33 @@ class PropagationEngine:
     exchangeable-module registries transparently.
     """
 
-    def __init__(self, ordered: bool = True) -> None:
+    def __init__(self, ordered: bool = True, plan_cache: bool = True,
+                 coalesce: bool = True) -> None:
         #: ``ordered=False`` switches to naive depth-first recursion — the
         #: anti-pattern Section 3.2.3 warns about ("updates have to be
         #: performed in the right order").  It recomputes diamond-shaped
         #: dependents once per path and transiently exposes inconsistent
         #: values; it exists only as the ablation baseline of experiment E12.
         self.ordered = ordered
+        #: Memoize per-source wave plans keyed by the topology epoch.
+        #: ``False`` re-runs the longest-path relaxation on every wave — the
+        #: pre-cache behaviour, kept as the benchmark baseline.
+        self.plan_cache = plan_cache
+        #: Merge simultaneously queued sources into one multi-source wave so
+        #: shared dependents recompute once per batch.  Only effective with
+        #: ``ordered=True``.
+        self.coalesce = coalesce
         # Counters are mutated only by the active drainer thread; the drainer
         # role is handed off under ``_mutex``, which orders those mutations.
-        self.wave_count = 0
+        self.wave_count = 0        # sources processed (one per enqueued change)
+        self.drain_count = 0       # physical propagation passes executed
+        self.merged_wave_count = 0      # passes that merged >= 2 sources
+        self.coalesced_source_count = 0  # sources folded into merged passes
         self.refresh_count = 0
         self.suppressed_count = 0  # dependents skipped because inputs were unchanged
         self.error_count = 0       # recomputes that raised (handler keeps old value)
+        self.plan_hits = 0         # waves that reused a fresh cached plan
+        self.plan_misses = 0       # waves that (re)built their plan
         #: Telemetry hub attached by ``MetadataSystem.enable_telemetry``;
         #: ``None`` keeps every hook below to a single local-variable check.
         self.telemetry: "Telemetry | None" = None
@@ -105,33 +160,70 @@ class PropagationEngine:
         # traced back to the triggering event.
         self._pending: deque[tuple["MetadataHandler", int]] = deque()
         self._drainer: int | None = None  # ident of the thread running waves
+        # Wave-plan cache: id(source) -> (epoch, entries).  Guarded by
+        # ``_mutex``; cleared eagerly on every epoch bump so stale plans
+        # never pin excluded handlers in memory.
+        self._topology_epoch = 0
+        self._plans: dict[int, tuple[int, list]] = {}
 
     # -- public entry points -------------------------------------------------
 
     def value_changed(self, source: "MetadataHandler") -> None:
         """A handler's stored value changed; refresh dependents in order."""
-        self._start(source)
+        self._start([source])
 
     def event_fired(self, source: "MetadataHandler") -> None:
         """A manual event notification for ``source`` (Section 3.2.3)."""
-        self._start(source)
+        self._start([source])
+
+    def events_fired(self, sources: Sequence["MetadataHandler"]) -> None:
+        """Batch form of :meth:`event_fired`: enqueue all sources under one
+        mutex acquisition so a coalescing drainer merges them into a single
+        multi-source wave (shared dependents recompute once per batch)."""
+        if sources:
+            self._start(list(sources))
+
+    @property
+    def topology_epoch(self) -> int:
+        """Current epoch of the dependency wiring (monotonically increasing)."""
+        with self._mutex:
+            return self._topology_epoch
+
+    def bump_topology(self) -> int:
+        """Advance the topology epoch, invalidating every cached wave plan.
+
+        Called by the registries on every include / exclude / define /
+        undefine that can change dependency wiring.  The plan dict is
+        cleared eagerly (not lazily) so cached plans never keep removed
+        handlers alive.  Returns the new epoch.
+        """
+        with self._mutex:
+            self._topology_epoch += 1
+            if self._plans:
+                self._plans.clear()
+            return self._topology_epoch
 
     # -- wave machinery ----------------------------------------------------------
 
-    def _start(self, source: "MetadataHandler") -> None:
+    def _start(self, sources: "list[MetadataHandler]") -> None:
         tel = self.telemetry
-        span = tel.bus.new_span() if tel is not None else 0
         with self._mutex:
-            self._pending.append((source, span))
+            if tel is not None:
+                entries = [(s, tel.bus.new_span()) for s in sources]
+            else:
+                entries = [(s, 0) for s in sources]
+            self._pending.extend(entries)
             depth = len(self._pending)
             acquired = self._drainer is None
             if acquired:
                 self._drainer = threading.get_ident()
         if tel is not None:
-            tel.emit(WaveEnqueued(span=span, node=node_of(source),
-                                  key=key_of(source.key), pending=depth))
+            for source, span in entries:
+                tel.emit(WaveEnqueued(span=span, node=node_of(source),
+                                      key=key_of(source.key), pending=depth))
             if acquired:
-                tel.emit(DrainHandoff(span=span, acquired=True, pending=depth))
+                tel.emit(DrainHandoff(span=entries[0][1], acquired=True,
+                                      pending=depth))
         if not acquired:
             # A drain loop is active — either on another thread, or on
             # this thread below us in the stack (a refresh inside a
@@ -140,7 +232,7 @@ class PropagationEngine:
             # only retires inside this mutex after observing an empty
             # queue.  Run-to-completion is preserved in both cases.
             return
-        run = self._run_wave if self.ordered else self._run_naive
+        batching = self.coalesce and self.ordered
         try:
             while True:
                 with self._mutex:
@@ -151,8 +243,18 @@ class PropagationEngine:
                         # after us and become the next drainer itself.
                         self._drainer = None
                         break
-                    next_source, next_span = self._pending.popleft()
-                run(next_source, next_span)
+                    if batching:
+                        batch = list(self._pending)
+                        self._pending.clear()
+                    else:
+                        batch = [self._pending.popleft()]
+                if not self.ordered:
+                    for next_source, next_span in batch:
+                        self._run_naive(next_source, next_span)
+                elif len(batch) == 1:
+                    self._run_wave(batch[0][0], batch[0][1])
+                else:
+                    self._run_coalesced(batch)
             if tel is not None:
                 tel.emit(DrainHandoff(acquired=False, pending=0))
         except BaseException:
@@ -170,6 +272,7 @@ class PropagationEngine:
         experiment-E12 baseline, not as an operable configuration.
         """
         self.wave_count += 1
+        self.drain_count += 1
         self._recurse_naive(source)
 
     def _recurse_naive(self, handler: "MetadataHandler") -> None:
@@ -180,8 +283,65 @@ class PropagationEngine:
             if self._recompute(dependent):
                 self._recurse_naive(dependent)
 
+    # -- plan construction and caching ------------------------------------------
+
+    def _build_plan(self, seeds: "list[MetadataHandler]") -> list:
+        """Structural wave plan: the dependent closure of ``seeds``,
+        topologically ordered, with per-entry predecessor tuples.
+
+        Ordering uses longest-path depth over dependent edges, which
+        guarantees that within the plan every handler appears after all of
+        its in-plan dependencies.  Reaction hooks are *not* consulted — the
+        plan is pure structure; hooks run at execution time, once per edge.
+        """
+        depth: dict[int, int] = {id(s): 0 for s in seeds}
+        handlers: dict[int, "MetadataHandler"] = {id(s): s for s in seeds}
+        preds: dict[int, dict[int, "MetadataHandler"]] = {id(s): {} for s in seeds}
+        # Repeated relaxation over a DAG; the include machinery rejects
+        # cycles, so this terminates.
+        frontier: list["MetadataHandler"] = list(seeds)
+        while frontier:
+            next_frontier: list["MetadataHandler"] = []
+            for handler in frontier:
+                d = depth[id(handler)] + 1
+                for dependent in handler.dependents():
+                    did = id(dependent)
+                    preds.setdefault(did, {})[id(handler)] = handler
+                    if did not in depth:
+                        depth[did] = d
+                        handlers[did] = dependent
+                        next_frontier.append(dependent)
+                    elif d > depth[did]:
+                        depth[did] = d
+                        next_frontier.append(dependent)
+            frontier = next_frontier
+        # dict preserves discovery order; the stable sort keeps it for ties.
+        order = sorted(handlers, key=lambda h: depth[h])
+        return [(handlers[h], tuple(preds[h].values())) for h in order]
+
+    def _plan_entries(self, source: "MetadataHandler") -> list:
+        """Cached plan for ``source``, rebuilt when the topology epoch moved."""
+        sid = id(source)
+        with self._mutex:
+            epoch = self._topology_epoch
+            cached = self._plans.get(sid)
+            if cached is not None and cached[0] == epoch:
+                self.plan_hits += 1
+                return cached[1]
+            self.plan_misses += 1
+        entries = self._build_plan([source])
+        with self._mutex:
+            # A concurrent wiring change since the epoch was sampled makes
+            # this plan stale on arrival: run it (same hazard the uncached
+            # engine has between collection and execution) but do not cache.
+            if self._topology_epoch == epoch:
+                self._plans[sid] = (epoch, entries)
+        return entries
+
     def _collect_wave(self, source: "MetadataHandler") -> list["MetadataHandler"]:
-        """Triggered-handler closure of ``source``, topologically ordered.
+        """Triggered-handler closure of ``source``, topologically ordered —
+        the uncached path (``plan_cache=False``), kept as the benchmark
+        baseline and the reference semantics.
 
         Ordering uses longest-path depth from the source over dependent
         edges, which guarantees that within the wave every handler appears
@@ -219,25 +379,143 @@ class PropagationEngine:
         # dict preserves discovery order; the stable sort keeps it for ties.
         return [handlers[h] for h in sorted(handlers, key=lambda h: depth[h])]
 
+    def _materialize(self, entries: list, seed_ids: "set[int]"):
+        """Effective wave of a structural plan under current hook results.
+
+        Walks the plan once, evaluating ``on_dependency_changed`` exactly
+        once per (member predecessor -> entry) edge — the same edge set the
+        uncached relaxation evaluates — and returns the member handlers in
+        plan order plus their id set.
+        """
+        wave: list["MetadataHandler"] = []
+        members: set[int] = set(seed_ids)
+        for handler, preds in entries:
+            hid = id(handler)
+            if hid in seed_ids:
+                wave.append(handler)
+                continue
+            wanted = False
+            for pred in preds:
+                if id(pred) in members and handler.on_dependency_changed(pred):
+                    wanted = True
+            if wanted:
+                members.add(hid)
+                wave.append(handler)
+        return wave, members
+
+    # -- wave execution -----------------------------------------------------------
+
     def _run_wave(self, source: "MetadataHandler", span: int = 0) -> None:
         self.wave_count += 1
+        self.drain_count += 1
         tel = self.telemetry
-        wave = self._collect_wave(source)
-        changed_ids = {id(source)}
-        in_wave = {id(h) for h in wave}
+        if self.plan_cache:
+            entries = self._plan_entries(source)
+            if tel is None:
+                self._execute_plan_fast(entries, source)
+                return
+            wave, in_wave = self._materialize(entries, {id(source)})
+        else:
+            wave = self._collect_wave(source)
+            in_wave = {id(h) for h in wave}
+        self._execute_wave(wave, in_wave, [source], span)
+
+    def _run_coalesced(self, batch: "list[tuple[MetadataHandler, int]]") -> None:
+        """One multi-source wave for every source queued at drain time.
+
+        Duplicate sources collapse (a batch of notifications for one item is
+        one refresh of its dependents, each reading the latest state);
+        ``wave_count`` still advances once per queue entry so lost-wave
+        accounting is exact.  Merged plans are built fresh — the per-source
+        cache only covers single-source waves, and source combinations are
+        unbounded.
+        """
+        self.wave_count += len(batch)
+        self.drain_count += 1
+        self.merged_wave_count += 1
+        self.coalesced_source_count += len(batch)
+        seeds: list["MetadataHandler"] = []
+        seen: set[int] = set()
+        for source, _ in batch:
+            if id(source) not in seen:
+                seen.add(id(source))
+                seeds.append(source)
+        span = batch[0][1]
+        tel = self.telemetry
+        if tel is not None:
+            # Attribute the merged wave to every contributing source: one
+            # linkage event per folded source ties its enqueue span to the
+            # span the wave's hops/refreshes will carry.
+            for source, source_span in batch[1:]:
+                tel.emit(WaveCoalesced(span=span, node=node_of(source),
+                                       key=key_of(source.key),
+                                       source_span=source_span))
+        entries = self._build_plan(seeds)
+        wave, in_wave = self._materialize(entries, seen)
+        self._execute_wave(wave, in_wave, seeds, span)
+
+    def _execute_plan_fast(self, entries: list,
+                           source: "MetadataHandler") -> None:
+        """Untraced single-source execution of a cached plan: one linear
+        pass deciding membership, change-cut suppression and refreshes.
+
+        Accounting-equivalent to :meth:`_execute_wave` over
+        :meth:`_collect_wave` (see the module docstring); hooks still run
+        once per member edge because plan predecessors are deduplicated and
+        each entry is visited once.
+        """
+        changed: set[int] = {id(source)}
+        members: set[int] = {id(source)}
+        for handler, preds in entries[1:]:
+            member_preds = [p for p in preds if id(p) in members]
+            if not member_preds:
+                continue
+            wanted = False
+            for pred in member_preds:
+                if handler.on_dependency_changed(pred):
+                    wanted = True
+            if not wanted:
+                continue
+            members.add(id(handler))
+            if handler.removed:
+                continue
+            for pred in member_preds:
+                if id(pred) in changed:
+                    break
+            else:
+                # Refresh only when an in-wave dependency actually changed.
+                self.suppressed_count += 1
+                continue
+            self.refresh_count += 1
+            if self._recompute(handler):
+                changed.add(id(handler))
+
+    def _execute_wave(self, wave: "list[MetadataHandler]", in_wave: "set[int]",
+                      seeds: "list[MetadataHandler]", span: int = 0) -> None:
+        tel = self.telemetry
+        seed_ids = {id(s) for s in seeds}
+        changed_ids = set(seed_ids)
+        first = seeds[0]
         if tel is not None:
             refreshed = suppressed = errors = 0
             wave_t0 = time.monotonic()
-            tel.emit(WaveStart(span=span, node=node_of(source),
-                               key=key_of(source.key), wave_size=len(wave)))
-        for handler in wave[1:]:  # skip the source itself
+            tel.emit(WaveStart(span=span, node=node_of(first),
+                               key=key_of(first.key), wave_size=len(wave),
+                               sources=len(seed_ids)))
+        for handler in wave:
+            is_seed = id(handler) in seed_ids
             if handler.removed:
+                if is_seed:
+                    continue
                 if tel is not None:
                     tel.emit(WaveSuppressed(span=span, node=node_of(handler),
                                             key=key_of(handler.key),
                                             reason="removed"))
                 continue
-            # Refresh only when an in-wave dependency actually changed.
+            # Refresh only when an in-wave dependency actually changed.  A
+            # seed is changed by fiat (its notification said so) and is only
+            # recomputed when another merged source changed one of its
+            # dependencies first — keeping it consistent within the batch.
             if tel is None:
                 inputs_changed = any(
                     id(dep) in changed_ids
@@ -250,14 +528,18 @@ class PropagationEngine:
                 changed_deps = [
                     dep for _, dep in handler.dependency_handlers
                     if id(dep) in in_wave and id(dep) in changed_ids
+                    and id(dep) != id(handler)
                 ]
                 inputs_changed = bool(changed_deps)
-                for dep in changed_deps:
-                    tel.emit(WaveHop(span=span,
-                                     from_node=node_of(dep),
-                                     from_key=key_of(dep.key),
-                                     to_node=node_of(handler),
-                                     to_key=key_of(handler.key)))
+                if not is_seed or inputs_changed:
+                    for dep in changed_deps:
+                        tel.emit(WaveHop(span=span,
+                                         from_node=node_of(dep),
+                                         from_key=key_of(dep.key),
+                                         to_node=node_of(handler),
+                                         to_key=key_of(handler.key)))
+            if is_seed and not inputs_changed:
+                continue
             if not inputs_changed:
                 self.suppressed_count += 1
                 if tel is not None:
@@ -268,7 +550,7 @@ class PropagationEngine:
                 continue
             self.refresh_count += 1
             if tel is None:
-                if self._recompute(handler):
+                if self._recompute(handler) or is_seed:
                     changed_ids.add(id(handler))
                 continue
             # Traced recompute: counters are drainer-private (see __init__),
@@ -292,7 +574,7 @@ class PropagationEngine:
             tel.emit(WaveRefresh(span=span, node=node_of(handler),
                                  key=key_of(handler.key), changed=changed,
                                  error=error, duration=duration))
-            if changed:
+            if changed or is_seed:
                 changed_ids.add(id(handler))
         if tel is not None:
             tel.emit(WaveEnd(span=span, refreshed=refreshed,
@@ -326,8 +608,15 @@ class PropagationEngine:
         with self._mutex:
             return {
                 "waves": self.wave_count,
+                "drains": self.drain_count,
+                "merged_waves": self.merged_wave_count,
+                "coalesced_sources": self.coalesced_source_count,
                 "refreshes": self.refresh_count,
                 "suppressed": self.suppressed_count,
                 "errors": self.error_count,
                 "pending": len(self._pending),
+                "topology_epoch": self._topology_epoch,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "cached_plans": len(self._plans),
             }

@@ -194,12 +194,13 @@ class MetadataSystem:
 
         This is the *provide-all* strategy the paper argues against
         ("providing all available metadata would be too expensive") — the
-        baseline of the query-scalability benchmark (experiment E4).
+        baseline of the query-scalability benchmark (experiment E4).  Uses
+        the bulk path so each registry's closure resolves under a single
+        lock acquisition.
         """
-        subscriptions = []
+        subscriptions: list["MetadataSubscription"] = []
         for registry in self.registries():
-            for key in registry.available_keys():
-                subscriptions.append(registry.subscribe(key))
+            subscriptions.extend(registry.subscribe_many(registry.available_keys()))
         return subscriptions
 
     def stats(self) -> dict[str, int]:
@@ -313,6 +314,7 @@ class MetadataRegistry:
                     f"cannot redefine {key!r} on {self._owner_name()} while it is included"
                 )
             self._definitions[key] = definition
+            self.system.propagation.bump_topology()
 
     def undefine(self, key: MetadataKey) -> None:
         """Withdraw a published item (must not be included)."""
@@ -324,6 +326,7 @@ class MetadataRegistry:
             if key not in self._definitions:
                 raise UnknownMetadataError(self.owner, key)
             del self._definitions[key]
+            self.system.propagation.bump_topology()
 
     def add_probe(self, probe: Probe) -> Probe:
         """Register a monitoring probe referenced by definitions' ``monitors``."""
@@ -389,6 +392,54 @@ class MetadataRegistry:
             handler.consumer_count += 1
             return MetadataSubscription(self, handler)
 
+    def subscribe_many(
+        self, keys: Iterable[MetadataKey]
+    ) -> list["MetadataSubscription"]:
+        """Subscribe to several metadata items under ONE lock acquisition.
+
+        The per-key path acquires the graph write lock once per subscribe;
+        installing a query that consumes dozens of items pays that cost —
+        and the include-cascade bookkeeping — once per key.  The bulk path
+        resolves the transitive include-closure of all ``keys`` inside a
+        single graph -> node -> item critical section: shared dependencies
+        are resolved once and reused by reference for the rest of the batch.
+
+        Atomic: if any key fails to include, the already-included keys are
+        rolled back and the system is left unchanged.  Returns one
+        subscription per key, in input order (duplicates allowed — each gets
+        its own subscription against the shared handler).
+        """
+        keys = list(keys)
+        tel = self.system.telemetry
+        span = 0
+        if tel is not None:
+            span = tel.bus.new_span()
+            for key in keys:
+                tel.emit(SubscribeEvent(span=span, node=self._owner_name(),
+                                        key=key_of(key)))
+        subscriptions: list["MetadataSubscription"] = []
+        with self.system.structure_lock.write():
+            included: list[MetadataHandler] = []
+            try:
+                for key in keys:
+                    included.append(self._include(key, [], span))
+            except Exception:
+                # Unwind the keys that did include; as in _include's own
+                # rollback, a failing cleanup step must not mask the error.
+                for handler in reversed(included):
+                    try:
+                        self._exclude(handler.key, span)
+                    except Exception:
+                        log.exception(
+                            "rollback of failed subscribe_many on %s: could "
+                            "not exclude %r", self._owner_name(), handler.key,
+                        )
+                raise
+            for handler in included:
+                handler.consumer_count += 1
+                subscriptions.append(MetadataSubscription(self, handler))
+        return subscriptions
+
     def _unsubscribe(self, handler: MetadataHandler) -> None:
         tel = self.system.telemetry
         span = 0
@@ -422,6 +473,24 @@ class MetadataRegistry:
         if handler is None or handler.removed:
             return
         self.propagation.event_fired(handler)
+
+    def notify_changed_many(self, keys: Iterable[MetadataKey]) -> None:
+        """Fire manual event notifications for several keys as one batch.
+
+        All sources are enqueued under a single engine-mutex acquisition, so
+        a coalescing propagation engine merges them into one multi-source
+        wave: dependents shared between the keys recompute once per batch
+        instead of once per key.  Same locking discipline as
+        :meth:`notify_changed` (lock-free handler lookup; excluded keys are
+        skipped).
+        """
+        handlers = []
+        for key in keys:
+            handler = self._handlers.get(key)
+            if handler is not None and not handler.removed:
+                handlers.append(handler)
+        if handlers:
+            self.propagation.events_fired(handlers)
 
     # -- include / exclude machinery (Section 2.4) ----------------------------------------
 
@@ -469,7 +538,10 @@ class MetadataRegistry:
             # Roll back partially included dependencies so a failed subscribe
             # leaves the system unchanged.  A failing cleanup step must not
             # mask the inclusion error being propagated — log it and keep
-            # rolling back the remaining dependencies.
+            # rolling back the remaining dependencies.  The half-built
+            # handler is flagged removed so a propagation wave that raced
+            # the rollback window never recomputes it.
+            handler.removed = True
             for spec, dep_handler in handler.dependency_handlers:
                 try:
                     dep_handler.detach_dependent(handler)
@@ -542,6 +614,9 @@ class MetadataRegistry:
             return
         del self._handlers[key]
         handler.on_removed()
+        # Invalidate cached wave plans: even a handler with no remaining
+        # edges must not linger in the plan cache (its id could be reused).
+        self.system.propagation.bump_topology()
         if tel is not None:
             tel.emit(ExcludeEvent(span=span, node=self._owner_name(),
                                   key=key_of(key), removed=True))

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import threading
 import time
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.common.clock import Clock, Timer, VirtualClock
 from repro.telemetry.events import SchedulerCancel, SchedulerRefresh, key_of, node_of
@@ -30,6 +31,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry.hub import Telemetry
 
 __all__ = ["PeriodicTask", "PeriodicScheduler", "VirtualTimeScheduler", "ThreadedScheduler"]
+
+#: A periodic refresh outliving the unregister backstop is a hung compute —
+#: observable here instead of silently leaking past ``unregister``.
+log = logging.getLogger(__name__)
 
 
 class PeriodicTask:
@@ -228,6 +233,8 @@ class ThreadedScheduler(PeriodicScheduler):
         """
         cancelled_now = False
         raced_in_flight = False
+        timed_out = False
+        hung_worker: Optional[int] = None
         with self._cond:
             if not task.cancelled:
                 task.cancelled = True
@@ -241,13 +248,27 @@ class ThreadedScheduler(PeriodicScheduler):
                 while task._running and task._runner != me:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        break  # backstop: report via repr/debugging, don't hang
+                        # Backstop expired: the in-flight refresh is hung (or
+                        # pathologically slow).  Return rather than hang the
+                        # unsubscriber — but loudly: the caller's contract
+                        # ("no refresh after unregister returns") is broken.
+                        timed_out = True
+                        hung_worker = task._runner
+                        break
                     self._cond.wait(remaining)
+        if timed_out:
+            log.warning(
+                "unregister of periodic task %r timed out after %.1fs with a "
+                "refresh still in flight on worker %s; the compute is hung "
+                "and may still fire after this call returns",
+                task, self.unregister_wait_timeout, hung_worker,
+            )
         tel = self.telemetry
-        if tel is not None and cancelled_now:
+        if tel is not None and (cancelled_now or timed_out):
             tel.emit(SchedulerCancel(node=node_of(task.handler),
                                      key=key_of(task.handler.key),
-                                     in_flight=raced_in_flight))
+                                     in_flight=raced_in_flight,
+                                     timed_out=timed_out))
 
     def active_task_count(self) -> int:
         with self._cond:

@@ -49,6 +49,7 @@ __all__ = [
     "ProbeDeactivated",
     "WaveEnqueued",
     "DrainHandoff",
+    "WaveCoalesced",
     "WaveStart",
     "WaveHop",
     "WaveRefresh",
@@ -202,11 +203,31 @@ class DrainHandoff(TraceEvent):
 
 
 @dataclass(slots=True)
+class WaveCoalesced(TraceEvent):
+    """A queued source was folded into a multi-source wave.
+
+    ``span`` is the merged wave's span (shared with its ``wave.start`` /
+    ``wave.hop`` / ``wave.refresh`` events); ``source_span`` is the span the
+    folded source was enqueued under, linking its ``wave.enqueued`` event to
+    the wave that actually served it.  One event per folded source, so the
+    merged span is attributable to every contributing change."""
+
+    kind = "wave.coalesced"
+    node: str = ""
+    key: str = ""
+    source_span: int = 0
+
+
+@dataclass(slots=True)
 class WaveStart(TraceEvent):
+    """``sources > 1`` marks a coalesced multi-source wave; ``node``/``key``
+    identify the first contributing source."""
+
     kind = "wave.start"
     node: str = ""
     key: str = ""
     wave_size: int = 0
+    sources: int = 1
 
 
 @dataclass(slots=True)
@@ -269,12 +290,16 @@ class SchedulerRefresh(TraceEvent):
 @dataclass(slots=True)
 class SchedulerCancel(TraceEvent):
     """A periodic task was cancelled; ``in_flight`` marks the cancel race
-    where a refresh was running on a worker and had to be waited out."""
+    where a refresh was running on a worker and had to be waited out.
+    ``timed_out`` marks the pathological case where that wait exhausted the
+    unregister backstop and returned with the refresh still running — a
+    hung compute that would otherwise be invisible."""
 
     kind = "sched.cancel"
     node: str = ""
     key: str = ""
     in_flight: bool = False
+    timed_out: bool = False
 
 
 @dataclass(slots=True)

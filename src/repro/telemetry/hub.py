@@ -75,6 +75,8 @@ class Telemetry:
             m.histogram("wave_duration_seconds").observe(event.duration)
         elif isinstance(event, ev.WaveEnqueued):
             m.histogram("wave_queue_depth", bounds=SIZE_BOUNDS).observe(event.pending)
+        elif isinstance(event, ev.WaveCoalesced):
+            m.counter("waves_coalesced_total").inc()
         elif isinstance(event, ev.DrainHandoff):
             m.counter("drain_handoffs_total").inc()
         elif isinstance(event, ev.SchedulerRefresh):
@@ -87,6 +89,8 @@ class Telemetry:
             m.counter("scheduler_cancels_total").inc()
             if event.in_flight:
                 m.counter("scheduler_cancel_races_total").inc()
+            if event.timed_out:
+                m.counter("scheduler_cancel_timeouts_total").inc()
         elif isinstance(event, ev.HandlerRefresh):
             m.counter("handler_refreshes_total", {"node": event.node}).inc()
             m.histogram("refresh_duration_seconds").observe(event.duration)
@@ -192,9 +196,16 @@ def format_span(telemetry: Telemetry, span: int) -> str:
                 f"{_ident(event.node, event.key)} (queue depth {event.pending})"
             )
         elif isinstance(event, ev.WaveStart):
+            merged = (f" merging {event.sources} sources"
+                      if event.sources > 1 else "")
             lines.append(
                 f"  t={event.ts:g} wave started at {_ident(event.node, event.key)}"
-                f" covering {event.wave_size} handler(s)"
+                f" covering {event.wave_size} handler(s){merged}"
+            )
+        elif isinstance(event, ev.WaveCoalesced):
+            lines.append(
+                f"    coalesced change of {_ident(event.node, event.key)}"
+                f" (enqueued as span {event.source_span})"
             )
         elif isinstance(event, ev.WaveHop):
             lines.append(

@@ -267,3 +267,65 @@ class TestThreadedScheduler:
         scheduler.start()
         scheduler.stop()
         scheduler.stop()
+
+
+class TestUnregisterTimeout:
+    """The unregister backstop must be *loud*: a hung refresh breaks the
+    "no refresh after unregister returns" contract, so expiry logs a
+    warning and emits ``SchedulerCancel(timed_out=True)``."""
+
+    def test_timeout_warns_and_emits_telemetry(self, caplog):
+        clock, scheduler, registry = make_system_with_threaded(pool_size=1)
+        telemetry = registry.system.enable_telemetry()
+        scheduler.unregister_wait_timeout = 0.15
+        hanging = threading.Event()
+        release = threading.Event()
+        calls = {"n": 0}
+
+        def compute(ctx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return 0  # seed compute at subscribe time stays instant
+            hanging.set()
+            release.wait(timeout=10.0)
+            return calls["n"]
+
+        registry.define(MetadataDefinition(A, Mechanism.PERIODIC,
+                                           period=0.01, compute=compute))
+        try:
+            with scheduler:
+                subscription = registry.subscribe(A)
+                assert hanging.wait(timeout=5.0)  # a refresh is now stuck
+                started = time.monotonic()
+                with caplog.at_level(
+                        "WARNING", logger="repro.metadata.scheduling"):
+                    subscription.cancel()
+                waited = time.monotonic() - started
+                # The backstop returned instead of hanging forever...
+                assert 0.1 <= waited < 5.0
+                release.set()
+            # ...and it was loud about the broken contract.
+            assert any("timed out" in record.message
+                       for record in caplog.records)
+            cancels = telemetry.bus.events(kind="sched.cancel")
+            assert any(event.timed_out and event.in_flight
+                       for event in cancels)
+            counters = telemetry.metrics.snapshot()["counters"]
+            assert counters.get("scheduler_cancel_timeouts_total") == 1
+        finally:
+            release.set()
+
+    def test_clean_cancel_is_not_marked_timed_out(self):
+        clock, scheduler, registry = make_system_with_threaded(pool_size=1)
+        telemetry = registry.system.enable_telemetry()
+        registry.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=0.02, compute=lambda ctx: 1,
+        ))
+        with scheduler:
+            subscription = registry.subscribe(A)
+            time.sleep(0.05)
+            subscription.cancel()
+        cancels = telemetry.bus.events(kind="sched.cancel")
+        assert cancels and all(not event.timed_out for event in cancels)
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert "scheduler_cancel_timeouts_total" not in counters

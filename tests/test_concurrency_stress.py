@@ -254,3 +254,140 @@ class TestSchedulerCancelRace:
                     )
         assert scheduler.active_task_count() == 0
         assert system.included_handler_count == 0
+
+
+class TestCachedPlanStressEquivalence:
+    """The wave-plan cache must change cost, never accounting.
+
+    An always-changing chain makes per-wave work deterministic (every wave
+    refreshes the full chain), so the cached and uncached engines must
+    produce *identical* counters under the same concurrent storm — and the
+    cached engine must actually have served the storm from one plan.
+    """
+
+    DEPTH = 6
+
+    def _storm(self, engine) -> dict:
+        from repro.metadata.propagation import PropagationEngine  # noqa: F401
+
+        clock = VirtualClock()
+        system = MetadataSystem(
+            clock,
+            VirtualTimeScheduler(clock),
+            lock_policy=FineGrainedLockPolicy(),
+            propagation=engine,
+        )
+        owner = _attach_registry(system, "node")
+        state = {"n": 0}
+        state_lock = threading.Lock()
+
+        def bump(ctx):
+            with state_lock:
+                state["n"] += 1
+                return state["n"]
+
+        owner.metadata.define(MetadataDefinition(SRC, Mechanism.ON_DEMAND, compute=bump))
+        previous = SRC
+        for i in range(self.DEPTH):
+            key = MetadataKey(f"chain{i}")
+            owner.metadata.define(MetadataDefinition(
+                key, Mechanism.TRIGGERED,
+                compute=lambda ctx, dep=previous: ctx.value(dep) + 1,
+                dependencies=[SelfDep(previous)],
+            ))
+            previous = key
+        anchor = owner.metadata.subscribe(previous)
+
+        check = RaceCheck(iterations=ITERATIONS, timeout=60.0,
+                          name="plan-cache-equivalence")
+        check.add(
+            lambda worker, i: owner.metadata.notify_changed(SRC),
+            threads=THREADS, name="notify",
+        )
+        check.run()
+
+        stats = engine.stats()
+        anchor.cancel()
+        return stats
+
+    def test_identical_accounting_cached_vs_uncached(self):
+        from repro.metadata.propagation import PropagationEngine
+
+        # Coalescing off on both sides: merging depends on queue timing, so
+        # only the cache dimension varies — the property under test.
+        cached = self._storm(PropagationEngine(coalesce=False))
+        uncached = self._storm(PropagationEngine(plan_cache=False,
+                                                 coalesce=False))
+        for key in ("waves", "refreshes", "suppressed", "errors"):
+            assert cached[key] == uncached[key], (cached, uncached)
+        assert cached["waves"] == THREADS * ITERATIONS
+        assert cached["refreshes"] == THREADS * ITERATIONS * self.DEPTH
+        assert cached["suppressed"] == 0
+        assert cached["pending"] == 0
+        # The storm ran off one memoized plan: built once, reused throughout.
+        assert cached["plan_misses"] == 1
+        assert cached["plan_hits"] == cached["waves"] - 1
+        assert uncached["plan_hits"] == 0
+
+    def test_coalescing_storm_keeps_exact_wave_accounting(self):
+        """Default engine (coalescing on) under the same storm plus
+        concurrent wiring churn: every notification is accounted exactly
+        once, merged or not, while epoch bumps invalidate plans mid-storm."""
+        from repro.metadata.propagation import PropagationEngine
+
+        engine = PropagationEngine()
+        clock = VirtualClock()
+        system = MetadataSystem(
+            clock,
+            VirtualTimeScheduler(clock),
+            lock_policy=FineGrainedLockPolicy(),
+            propagation=engine,
+        )
+        owner = _attach_registry(system, "node")
+        state = {"n": 0}
+        state_lock = threading.Lock()
+
+        def bump(ctx):
+            with state_lock:
+                state["n"] += 1
+                return state["n"]
+
+        owner.metadata.define(MetadataDefinition(SRC, Mechanism.ON_DEMAND, compute=bump))
+        owner.metadata.define(MetadataDefinition(
+            MID, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(SRC),
+            dependencies=[SelfDep(SRC)],
+        ))
+        owner.metadata.define(MetadataDefinition(
+            CHURN, Mechanism.TRIGGERED, compute=lambda ctx: ctx.value(SRC),
+            dependencies=[SelfDep(SRC)],
+        ))
+        anchor = owner.metadata.subscribe(MID)
+
+        def churn(worker, i):
+            subscription = owner.metadata.subscribe(CHURN)
+            subscription.get()
+            subscription.cancel()
+
+        check = RaceCheck(iterations=ITERATIONS, timeout=60.0,
+                          name="coalesce-churn")
+        check.add(
+            lambda worker, i: owner.metadata.notify_changed(SRC),
+            threads=THREADS, name="notify",
+        )
+        check.add(churn, threads=2, name="churn")
+        check.run()
+
+        stats = engine.stats()
+        anchor.cancel()
+        # Exact lost-wave accounting survives coalescing: each notification
+        # is either its own drain or folded into a merged one, never both.
+        assert stats["waves"] == THREADS * ITERATIONS
+        single_drains = stats["drains"] - stats["merged_waves"]
+        assert single_drains + stats["coalesced_sources"] == stats["waves"]
+        assert stats["pending"] == 0
+        assert stats["errors"] == 0
+        # The churn threads bumped the topology epoch mid-storm, forcing
+        # plan rebuilds — the cache invalidation path under real contention.
+        assert stats["topology_epoch"] > 0
+        assert stats["plan_misses"] >= 1
+        assert system.included_handler_count == 0
