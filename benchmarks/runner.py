@@ -7,6 +7,7 @@ instead of eyeballing log output:
 
 * suite ``propagation``  (``bench_wave_cache.py``)   -> ``BENCH_propagation.json``
 * suite ``subscription`` (``bench_subscribe_many.py``) -> ``BENCH_subscription.json``
+* suite ``export``       (``bench_export.py``)       -> ``BENCH_export.json``
 
 Reports are written at the repository root (committed alongside the code
 they measure) and compared against the checked-in baselines in
@@ -47,8 +48,9 @@ SCHEMA_VERSION = 1
 DEFAULT_TOLERANCE = 0.20
 
 #: Per-suite metric contracts.  ``direction`` decides which way a change is
-#: a regression; ``gate_min`` is an absolute floor enforced on every run;
-#: ``compare`` excludes machine-dependent numbers from baseline gating.
+#: a regression; ``gate_min``/``gate_max`` are absolute bounds enforced on
+#: every run; ``compare`` excludes machine-dependent numbers from baseline
+#: gating.
 SUITES: dict[str, dict] = {
     "propagation": {
         "module": "bench_wave_cache",
@@ -88,6 +90,28 @@ SUITES: dict[str, dict] = {
                 "compare": False},
         },
     },
+    "export": {
+        "module": "bench_export",
+        "source": "benchmarks/bench_export.py",
+        "report": "BENCH_export.json",
+        "metrics": {
+            "export_overhead_pct": {
+                "direction": "lower_is_better", "unit": "percent",
+                "compare": False, "gate_max": 5.0},
+            "export_events_per_second": {
+                "direction": "higher_is_better", "unit": "events/s",
+                "compare": False},
+            "export_memory_peak_mb": {
+                "direction": "lower_is_better", "unit": "MB",
+                "compare": True, "gate_max": 64.0},
+            "queue_peak_fraction": {
+                "direction": "lower_is_better", "unit": "ratio",
+                "compare": False, "gate_max": 1.0},
+            "drop_accounting_exact": {
+                "direction": "higher_is_better", "unit": "bool",
+                "compare": True, "gate_min": 1.0},
+        },
+    },
 }
 
 
@@ -105,6 +129,8 @@ def run_suite(name: str) -> dict:
             "compare": contract["compare"],
             **({"gate_min": contract["gate_min"]}
                if "gate_min" in contract else {}),
+            **({"gate_max": contract["gate_max"]}
+               if "gate_max" in contract else {}),
         }
     return {
         "schema_version": SCHEMA_VERSION,
@@ -131,6 +157,11 @@ def check_report(report: dict, baseline: dict | None,
             failures.append(
                 f"{suite}/{metric}: {value:.3f} below absolute gate "
                 f"{gate_min:.3f}")
+        gate_max = data.get("gate_max")
+        if gate_max is not None and value > gate_max:
+            failures.append(
+                f"{suite}/{metric}: {value:.3f} above absolute gate "
+                f"{gate_max:.3f}")
         if baseline is None or not data["compare"]:
             continue
         base = baseline.get("metrics", {}).get(metric)
@@ -197,8 +228,11 @@ def main(argv: list[str] | None = None) -> int:
             base = (baseline or {}).get("metrics", {}).get(metric)
             base_note = (f"  (baseline {base['value']:.3f})"
                          if base and data["compare"] else "")
-            gate_note = (f"  [gate >= {data['gate_min']}]"
-                         if "gate_min" in data else "")
+            gate_note = "".join(
+                [f"  [gate >= {data['gate_min']}]" if "gate_min" in data
+                 else "",
+                 f"  [gate <= {data['gate_max']}]" if "gate_max" in data
+                 else ""])
             print(f"   {metric:<28} {data['value']:>12.3f} "
                   f"{data['unit']}{gate_note}{base_note}")
         print(f"   report: {report_path}")

@@ -15,12 +15,28 @@ closing sections show the aggregated runtime metrics and answer the
 Figure-3 question "why did the join's CPU estimate refresh?" from the
 captured wave trace.
 
+With ``--export`` the same run additionally ships every trace event (and
+periodic metric snapshots) through the batched export pipeline while the
+simulation executes — to a rotating jsonl file, a TCP line-protocol peer,
+or both — and a tiny in-process tail client (a :class:`FanOutSink`
+subscriber on the same exporter) live-counts the records it receives, the
+way an external dashboard would.
+
 Run with::
 
     python examples/monitoring_dashboard.py
+    python examples/monitoring_dashboard.py --export jsonl:/tmp/trace.jsonl
+    python examples/monitoring_dashboard.py --export tcp:localhost:9000 \\
+        --export jsonl:/tmp/trace.jsonl
 """
 
 from __future__ import annotations
+
+import argparse
+import threading
+from collections import Counter
+
+from repro.telemetry import FanOutSink, JsonlFileSink, TcpLineSink
 
 from repro import (
     DriftingRate,
@@ -64,9 +80,55 @@ def build_plan() -> tuple[QueryGraph, list[StreamDriver], SlidingWindowJoin]:
     return graph, drivers, join
 
 
-def main() -> None:
+def parse_export_spec(spec: str):
+    """``jsonl:PATH`` or ``tcp:HOST:PORT`` -> a configured export sink."""
+    kind, _, rest = spec.partition(":")
+    if kind == "jsonl" and rest:
+        return JsonlFileSink(rest)
+    if kind == "tcp":
+        host, _, port = rest.rpartition(":")
+        if host and port.isdigit():
+            return TcpLineSink(host, int(port))
+    raise SystemExit(
+        f"invalid --export spec {spec!r}: expected jsonl:PATH or tcp:HOST:PORT")
+
+
+def run_tail_client(subscriber, counts: Counter, stop: threading.Event) -> None:
+    """The 'external dashboard': count exported records live, by kind."""
+    while not stop.is_set():
+        if subscriber.wait(0.05):
+            for record in subscriber.pop():
+                counts[record.get("kind", "?")] += 1
+    for record in subscriber.pop():
+        counts[record.get("kind", "?")] += 1
+
+
+def main(argv: list[str] | None = None) -> None:
+    # Called with no argv (e.g. from the example tests) -> no export sinks;
+    # the command line only reaches argparse through the __main__ guard.
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--export", action="append", default=[], metavar="SINK",
+        help="ship live telemetry to a sink: jsonl:PATH or tcp:HOST:PORT "
+             "(repeatable)")
+    args = parser.parse_args(argv if argv is not None else [])
+
     graph, drivers, join = build_plan()
     telemetry = graph.metadata_system.enable_telemetry(capacity=16384)
+
+    exporter = None
+    tail_counts: Counter = Counter()
+    tail_stop = threading.Event()
+    tail_thread = None
+    if args.export:
+        sinks = [parse_export_spec(spec) for spec in args.export]
+        fanout = FanOutSink()
+        tail = fanout.subscribe()
+        tail_thread = threading.Thread(
+            target=run_tail_client, args=(tail, tail_counts, tail_stop),
+            name="tail-client", daemon=True)
+        tail_thread.start()
+        exporter = telemetry.attach_exporter(*sinks, fanout, name="dashboard")
 
     profiler = MetadataProfiler()
     profiler.watch(join, md.EST_CPU_USAGE, label="estimated CPU usage")
@@ -95,12 +157,27 @@ def main() -> None:
               f"over {len(pairs)} samples")
     print(f"propagation stats: {graph.metadata_system.propagation.stats()}")
 
+    if exporter is not None:
+        exporter.flush()
+        tail_stop.set()
+        assert tail_thread is not None
+        tail_thread.join(timeout=5.0)
+        print()
+        print("live export (tail client saw the stream as a dashboard would)")
+        for kind, count in tail_counts.most_common(8):
+            print(f"  {kind:<24} {count:>8,}")
+        for line in exporter.format_progress():
+            print(f"  {line}")
+
     print()
     print(render_dashboard(telemetry))
     print()
     print(explain_refresh(telemetry, join, md.EST_CPU_USAGE))
+    telemetry.close_exporters()
     profiler.close()
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

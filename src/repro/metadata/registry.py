@@ -157,12 +157,16 @@ class MetadataSystem:
     def disable_telemetry(self) -> Telemetry | None:
         """Detach the telemetry hub; hooks revert to zero-cost no-ops.
 
-        Returns the detached hub so captured traces/metrics stay readable.
+        Attached export pipelines are closed first (their sinks receive
+        everything still buffered).  Returns the detached hub so captured
+        traces/metrics stay readable.
         """
         telemetry = self.telemetry
         self.telemetry = None
         self.propagation.telemetry = None
         self.scheduler.telemetry = None
+        if telemetry is not None:
+            telemetry.close_exporters()
         return telemetry
 
     def handler_created(self, handler: MetadataHandler) -> None:

@@ -13,7 +13,13 @@ the machinery maintaining it — observable in motion:
   with Prometheus-text and JSON-lines exporters;
 * :mod:`repro.telemetry.hub` — the :class:`Telemetry` facade the runtime's
   hooks emit into, plus the text dashboard and the "why did this handler
-  refresh?" span renderer.
+  refresh?" span renderer;
+* :mod:`repro.telemetry.export` / :mod:`repro.telemetry.sinks` — the
+  batched, back-pressured export pipeline: a drainer thread pulls bounded
+  batches off the trace bus and ships traces + metric snapshots to rotating
+  jsonl files, a TCP line-protocol peer, or in-memory fan-out subscribers —
+  with O(batch) memory and exact drop accounting under overload
+  (``telemetry.attach_exporter(...)``).
 
 Telemetry is off by default and costs a single ``is None`` check per hook
 while disabled — the same zero-overhead-when-inactive discipline the paper's
@@ -62,11 +68,27 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.telemetry.trace import TraceBus, jsonl_writer
+from repro.telemetry.export import SinkProgress, TelemetryExporter
+from repro.telemetry.sinks import (
+    ExportSink,
+    FanOutSink,
+    FanOutSubscriber,
+    JsonlFileSink,
+    TcpLineSink,
+)
+from repro.telemetry.trace import TraceBus, TraceSubscription, jsonl_writer
 
 __all__ = [
     "Telemetry",
+    "TelemetryExporter",
+    "SinkProgress",
+    "ExportSink",
+    "JsonlFileSink",
+    "TcpLineSink",
+    "FanOutSink",
+    "FanOutSubscriber",
     "TraceBus",
+    "TraceSubscription",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -24,7 +24,7 @@ Human-facing views:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from repro.common.clock import Clock
 from repro.telemetry import events as ev
@@ -34,6 +34,10 @@ from repro.telemetry.metrics import (
     SIZE_BOUNDS,
 )
 from repro.telemetry.trace import TraceBus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (export -> hub)
+    from repro.telemetry.export import TelemetryExporter
+    from repro.telemetry.sinks import ExportSink
 
 __all__ = ["Telemetry", "render_dashboard", "explain_refresh", "format_span"]
 
@@ -49,6 +53,53 @@ class Telemetry:
     ) -> None:
         self.bus = TraceBus(clock, capacity)
         self.metrics = MetricsRegistry(prefix)
+        #: Export pipelines attached via :meth:`attach_exporter`.
+        self.exporters: list[TelemetryExporter] = []
+        # Ring overwrites were previously visible only on the bus object;
+        # mirroring them into a counter puts overload on every dashboard
+        # and wire-format export.
+        self.bus.on_drop = self._count_ring_drop
+
+    def _count_ring_drop(self) -> None:
+        self.metrics.counter("trace_events_dropped_total").inc()
+
+    # -- export pipelines ---------------------------------------------------
+
+    def attach_exporter(
+        self,
+        *sinks: "ExportSink",
+        batch_size: int = 256,
+        flush_interval: float = 0.05,
+        metrics_interval: float | None = 1.0,
+        cpu_budget: float | None = None,
+        name: str | None = None,
+        start: bool = True,
+    ) -> "TelemetryExporter":
+        """Attach (and by default start) a batched export pipeline.
+
+        ``sinks`` are any :class:`~repro.telemetry.sinks.ExportSink`
+        instances; the exporter drains the trace bus and periodically the
+        metric series into all of them from its own thread.  See
+        :mod:`repro.telemetry.export` for the back-pressure/drop contract.
+        """
+        # Imported lazily: the hub is on the instrumentation path and must
+        # not pay for the export machinery unless a pipeline is attached.
+        from repro.telemetry.export import TelemetryExporter
+
+        exporter = TelemetryExporter(
+            self, sinks, batch_size=batch_size, flush_interval=flush_interval,
+            metrics_interval=metrics_interval, cpu_budget=cpu_budget,
+            name=name or f"exporter-{len(self.exporters) + 1}")
+        self.exporters.append(exporter)
+        if start:
+            exporter.start()
+        return exporter
+
+    def close_exporters(self) -> None:
+        """Close every attached exporter (flushing what they buffered)."""
+        for exporter in self.exporters:
+            exporter.close()
+        self.exporters.clear()
 
     # -- capture + aggregation ---------------------------------------------
 
@@ -137,6 +188,7 @@ class Telemetry:
             "events_buffered": len(self.bus),
             "events_dropped": self.bus.dropped,
             "buffer_capacity": self.bus.capacity,
+            "exporters": [exporter.describe() for exporter in self.exporters],
             "metrics": self.metrics.snapshot(),
         }
 
@@ -157,6 +209,20 @@ def render_dashboard(telemetry: Telemetry, width: int = 68) -> str:
         f"events: {telemetry.bus.emitted} captured, "
         f"{len(telemetry.bus)} buffered, {telemetry.bus.dropped} dropped"
     )
+    if telemetry.bus.dropped:
+        lines.append(
+            f"  !! ring overflow: {telemetry.bus.dropped} events overwritten "
+            f"unread (trace_events_dropped_total) — raise the capacity or "
+            f"attach an exporter"
+        )
+    if telemetry.exporters:
+        lines.append("")
+        lines.append("exporters")
+        for exporter in telemetry.exporters:
+            state = "running" if exporter.running else "stopped"
+            lines.append(f"  {exporter.name} [{state}]")
+            for line in exporter.format_progress():
+                lines.append(f"    {line}")
     if snap["counters"]:
         lines.append("")
         lines.append("counters")

@@ -1,0 +1,351 @@
+"""Pluggable sinks for the telemetry export pipeline.
+
+A sink is the terminal stage of :class:`~repro.telemetry.export.
+TelemetryExporter`: it receives *batches* of plain-dict records (trace
+events rendered by :func:`~repro.telemetry.events.event_to_dict`, plus
+periodic ``metrics.snapshot`` records) on the exporter's drainer thread —
+never on an emitting thread.
+
+The contract every sink implements:
+
+* :meth:`ExportSink.write_batch` may raise.  The exporter catches the
+  error, counts it against the sink (``export_sink_errors_total``), drops
+  the batch *for that sink only* and keeps going — a broken sink never
+  stalls the pipeline, the other sinks, or the runtime emitting events.
+* :meth:`ExportSink.flush` / :meth:`ExportSink.close` are called by the
+  exporter's own ``flush``/``close`` and must be idempotent.
+* Sinks do their own I/O buffering; batches arrive already bounded
+  (``batch_size`` records), so sink memory is O(batch).
+
+Shipped sinks:
+
+``JsonlFileSink``
+    JSON-lines to a rotating file set (``path``, ``path.1`` … ``path.N``) —
+    bounded disk, constant memory.
+``TcpLineSink``
+    JSON-lines over one TCP connection with lazy connect and exponential
+    reconnect backoff; while the peer is down, batches are dropped-and-
+    counted instead of buffered (bounded memory beats completeness here —
+    the ring already absorbed the burst once).
+``FanOutSink``
+    In-memory pub-sub: many dashboard clients tail one exporter, each
+    through its own bounded buffer with per-subscriber drop accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = [
+    "ExportSink",
+    "JsonlFileSink",
+    "TcpLineSink",
+    "FanOutSink",
+    "FanOutSubscriber",
+]
+
+Record = dict[str, Any]
+
+
+def encode_lines(records: list[Record]) -> str:
+    """Render a batch as newline-terminated compact JSON lines."""
+    return "".join(
+        json.dumps(record, default=str, separators=(",", ":")) + "\n"
+        for record in records
+    )
+
+
+class ExportSink:
+    """Base class; see the module docstring for the sink contract."""
+
+    #: Short name used in progress accounting and metric labels.
+    name = "sink"
+
+    def write_batch(self, records: list[Record]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered output towards its destination (best effort)."""
+
+    def close(self) -> None:
+        """Release resources; the sink receives no further batches."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class JsonlFileSink(ExportSink):
+    """JSON-lines into a rotating file set.
+
+    When the active file reaches ``max_bytes`` it is rotated: ``path`` is
+    renamed to ``path.1`` (existing ``path.i`` shift to ``path.i+1``, the
+    oldest beyond ``max_files`` is deleted) and a fresh ``path`` is opened —
+    the jsonl equivalent of the ring buffer's bounded-retention discipline.
+    ``max_bytes=None`` disables rotation.
+    """
+
+    name = "jsonl"
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        max_bytes: int | None = 32 * 1024 * 1024,
+        max_files: int = 5,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
+        if max_files < 1:
+            raise ValueError(f"max_files must be >= 1, got {max_files}")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.rotations = 0
+        self._stream: IO[str] | None = None
+        self._bytes = 0
+
+    def _ensure_open(self) -> IO[str]:
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("a", encoding="utf-8")
+            self._bytes = self.path.stat().st_size
+        return self._stream
+
+    def write_batch(self, records: list[Record]) -> None:
+        stream = self._ensure_open()
+        payload = encode_lines(records)
+        stream.write(payload)
+        self._bytes += len(payload)
+        if self.max_bytes is not None and self._bytes >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        stream = self._stream
+        if stream is not None:
+            stream.close()
+            self._stream = None
+        # Shift path.(N-1) -> path.N ... path.1 -> path.2, then path -> path.1.
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files}")
+        oldest.unlink(missing_ok=True)
+        for index in range(self.max_files - 1, 0, -1):
+            source = self.path.with_name(f"{self.path.name}.{index}")
+            if source.exists():
+                source.rename(self.path.with_name(f"{self.path.name}.{index + 1}"))
+        if self.path.exists():
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._bytes = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class TcpLineSink(ExportSink):
+    """JSON-lines over a single TCP connection, with reconnect/backoff.
+
+    The socket is connected lazily on the first batch.  A connect or send
+    failure marks the sink disconnected and arms an exponential backoff
+    window (``backoff * 2**failures``, capped at ``max_backoff``); batches
+    arriving inside the window fail fast — the exporter counts them as
+    dropped for this sink — instead of blocking the drainer in connect
+    timeouts.  Once the window elapses the next batch retries the
+    connection, so a recovered peer starts receiving again without any
+    operator action.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 2.0,
+        backoff: float = 0.1,
+        max_backoff: float = 5.0,
+    ) -> None:
+        if backoff <= 0 or max_backoff < backoff:
+            raise ValueError(
+                f"need 0 < backoff <= max_backoff, got {backoff}/{max_backoff}")
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.connects = 0
+        self.failures = 0
+        self._consecutive_failures = 0
+        self._next_attempt = 0.0  # monotonic deadline of the backoff window
+        self._sock: socket.socket | None = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _fail(self, now: float) -> None:
+        self.failures += 1
+        self._consecutive_failures += 1
+        delay = min(
+            self.backoff * (2 ** (self._consecutive_failures - 1)),
+            self.max_backoff,
+        )
+        self._next_attempt = now + delay
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        now = time.monotonic()
+        if now < self._next_attempt:
+            raise ConnectionError(
+                f"tcp sink {self.host}:{self.port} backing off "
+                f"({self._next_attempt - now:.3f}s remaining)")
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout)
+        except OSError:
+            self._fail(time.monotonic())
+            raise
+        sock.settimeout(self.connect_timeout)
+        self._sock = sock
+        self._consecutive_failures = 0
+        self.connects += 1
+        return sock
+
+    def write_batch(self, records: list[Record]) -> None:
+        sock = self._ensure_connected()
+        payload = encode_lines(records).encode("utf-8")
+        try:
+            sock.sendall(payload)
+        except OSError:
+            self._disconnect()
+            self._fail(time.monotonic())
+            raise
+
+    def _disconnect(self) -> None:
+        sock = self._sock
+        self._sock = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close rarely fails
+                pass
+
+    def close(self) -> None:
+        self._disconnect()
+
+
+class FanOutSubscriber:
+    """One tail client of a :class:`FanOutSink`.
+
+    Records pile into a bounded deque; when the client falls behind, the
+    oldest records are discarded and counted in :attr:`dropped` — per
+    subscriber, so one stalled dashboard cannot slow the exporter or starve
+    the other clients.
+    """
+
+    def __init__(self, sink: "FanOutSink", capacity: int) -> None:
+        self._sink = sink
+        self.capacity = capacity
+        self._records: deque[Record] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+        self.received = 0
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, records: list[Record]) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            for record in records:
+                if len(self._records) >= self.capacity:
+                    self._records.popleft()
+                    self.dropped += 1
+                self._records.append(record)
+            self.received += len(records)
+        self._ready.set()
+
+    def pop(self, max_records: int | None = None) -> list[Record]:
+        """Buffered records, oldest first (may be empty; never blocks)."""
+        with self._lock:
+            take = len(self._records) if max_records is None \
+                else min(max_records, len(self._records))
+            batch = [self._records.popleft() for _ in range(take)]
+            if not self._records:
+                self._ready.clear()
+        return batch
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until records are available (or ``timeout``); True if so."""
+        return self._ready.wait(timeout)
+
+    def close(self) -> None:
+        with self._lock:
+            self.closed = True
+            self._records.clear()
+        self._ready.set()  # release any waiter
+        self._sink._remove(self)
+
+
+class FanOutSink(ExportSink):
+    """In-memory fan-out: every batch is offered to every live subscriber.
+
+    ``capacity`` bounds each subscriber's buffer (O(capacity) per client);
+    delivery is a lock-snapshot plus per-subscriber appends, so the
+    exporter's cost grows linearly in clients and never blocks on any of
+    them.
+    """
+
+    name = "fanout"
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._subscribers: list[FanOutSubscriber] = []
+
+    def subscribe(self, capacity: int | None = None) -> FanOutSubscriber:
+        subscriber = FanOutSubscriber(self, capacity or self.capacity)
+        with self._lock:
+            self._subscribers.append(subscriber)
+        return subscriber
+
+    def _remove(self, subscriber: FanOutSubscriber) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def write_batch(self, records: list[Record]) -> None:
+        with self._lock:
+            subscribers = tuple(self._subscribers)
+        for subscriber in subscribers:
+            subscriber._offer(records)
+
+    def close(self) -> None:
+        with self._lock:
+            subscribers = tuple(self._subscribers)
+            self._subscribers.clear()
+        for subscriber in subscribers:
+            with subscriber._lock:
+                subscriber.closed = True
+            subscriber._ready.set()

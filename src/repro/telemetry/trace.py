@@ -9,31 +9,42 @@ leak; when full, the *oldest* events are dropped and counted.
 
 Design constraints, in the spirit of the paper's probes (Section 4.4.1):
 
-* recording must be cheap (one lock, one deque append — no I/O, no
+* recording must be cheap (one lock, one slot store — no I/O, no
   formatting), because it runs inside propagation waves and scheduler
   workers;
 * when telemetry is disabled nothing in this module runs at all — the hooks
   in the runtime check a single ``telemetry is None`` before building any
   event.
 
-Listeners registered with :meth:`listen` receive every event synchronously
-after it is buffered; :func:`jsonl_writer` builds the standard JSON-lines
-streaming exporter on top of that.
+Two consumption styles share the one bounded buffer:
+
+* **push** — listeners registered with :meth:`TraceBus.listen` receive every
+  event synchronously after it is buffered (:func:`jsonl_writer` builds the
+  classic JSON-lines streaming listener on top of that), and
+* **pull** — :meth:`TraceBus.subscribe` returns a
+  :class:`TraceSubscription`: a cursor over the ring that a drainer thread
+  (the export pipeline, :mod:`repro.telemetry.export`) pops batches from.
+  A subscription adds *zero* cost to ``record`` — it is just a sequence
+  number; when the ring laps a slow subscriber, the overwritten events are
+  counted as that subscriber's drops.  Emitters are never blocked, the same
+  load-shedding discipline the ring itself follows.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import logging
 import threading
 import time
-from collections import deque
 from typing import Callable, IO
 
 from repro.common.clock import Clock
 from repro.telemetry.events import TraceEvent, event_to_dict
 
-__all__ = ["TraceBus", "jsonl_writer"]
+__all__ = ["TraceBus", "TraceSubscription", "jsonl_writer"]
+
+log = logging.getLogger(__name__)
 
 
 class TraceBus:
@@ -42,6 +53,12 @@ class TraceBus:
     ``clock`` supplies the ``ts`` domain (virtual time under a simulation
     clock); ``mono`` always comes from :func:`time.monotonic` so durations
     and ordering are meaningful even when the domain clock stands still.
+
+    Internally the buffer is a pre-allocated list indexed by event sequence
+    number modulo ``capacity``: slot ``emitted % capacity`` always holds the
+    newest event, and any retained event is addressable in O(1) — which is
+    what lets :class:`TraceSubscription` cursors pop batches without the bus
+    ever copying or moving events for them.
     """
 
     def __init__(self, clock: Clock | None = None, capacity: int = 4096) -> None:
@@ -49,14 +66,21 @@ class TraceBus:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._clock = clock
-        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self._ring: list[TraceEvent | None] = [None] * capacity
+        self._size = 0
         self._lock = threading.Lock()
         # itertools.count is the span allocator; next() is atomic in CPython,
         # and span 0 is reserved for "no span" (telemetry-disabled paths).
         self._spans = itertools.count(1)
         self.emitted = 0
         self.dropped = 0
+        #: Called (outside the bus lock) each time the ring overwrites an
+        #: unconsumed event.  The telemetry hub points this at the
+        #: ``trace_events_dropped_total`` counter so overload is visible in
+        #: the metric series, not only in :attr:`dropped`.
+        self.on_drop: Callable[[], None] | None = None
         self._listeners: list[Callable[[TraceEvent], None]] = []
+        self._subscriptions: list[TraceSubscription] = []
 
     # -- spans -------------------------------------------------------------
 
@@ -64,19 +88,31 @@ class TraceBus:
         """Allocate a fresh causal span id (unique per bus, never 0)."""
         return next(self._spans)
 
+    # -- time --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current time in the bus's ``ts`` domain."""
+        return self._clock.now() if self._clock is not None else time.monotonic()
+
     # -- capture -----------------------------------------------------------
 
     def record(self, event: TraceEvent) -> TraceEvent:
-        """Stamp and buffer ``event``; deliver it to listeners."""
+        """Stamp and buffer ``event``; deliver it to push listeners."""
         event.mono = time.monotonic()
         event.ts = self._clock.now() if self._clock is not None else event.mono
         event.thread = threading.get_ident()
+        overwrote = False
         with self._lock:
-            if len(self._buffer) == self.capacity:
+            if self._size == self.capacity:
                 self.dropped += 1
-            self._buffer.append(event)
+                overwrote = True
+            else:
+                self._size += 1
+            self._ring[self.emitted % self.capacity] = event
             self.emitted += 1
             listeners = tuple(self._listeners)
+        if overwrote and self.on_drop is not None:
+            self.on_drop()
         for listener in listeners:
             listener(event)
         return event
@@ -95,7 +131,38 @@ class TraceBus:
 
         return detach
 
+    # -- pull subscriptions ------------------------------------------------
+
+    def subscribe(self, name: str = "subscriber") -> "TraceSubscription":
+        """Open a pull cursor starting at the *next* event to be recorded.
+
+        The subscription shares the bus's bounded ring — it allocates no
+        queue of its own, so any number of subscribers keeps capture memory
+        at O(``capacity``).  A subscriber that falls more than ``capacity``
+        events behind loses the overwritten events and sees them in its
+        :attr:`TraceSubscription.dropped` counter; ``record`` never waits.
+        """
+        subscription = TraceSubscription(self, name)
+        with self._lock:
+            subscription._next_seq = self.emitted
+            self._subscriptions.append(subscription)
+        return subscription
+
+    def subscriptions(self) -> list["TraceSubscription"]:
+        """Snapshot of the open pull subscriptions."""
+        with self._lock:
+            return list(self._subscriptions)
+
     # -- query -------------------------------------------------------------
+
+    def _snapshot_locked(self, start_seq: int, count: int) -> list[TraceEvent]:
+        ring, capacity = self._ring, self.capacity
+        out: list[TraceEvent] = []
+        for seq in range(start_seq, start_seq + count):
+            event = ring[seq % capacity]
+            assert event is not None  # in-range slots are always populated
+            out.append(event)
+        return out
 
     def events(
         self, kind: str | None = None, span: int | None = None
@@ -106,7 +173,7 @@ class TraceBus:
         (``"wave"`` matches every wave-lifecycle event).
         """
         with self._lock:
-            snapshot = list(self._buffer)
+            snapshot = self._snapshot_locked(self.emitted - self._size, self._size)
         if kind is not None:
             snapshot = [
                 e for e in snapshot
@@ -121,13 +188,21 @@ class TraceBus:
         return self.events(span=span)
 
     def clear(self) -> None:
-        """Drop buffered events (counters and span allocation keep running)."""
+        """Drop buffered events (counters and span allocation keep running).
+
+        Open subscriptions skip ahead past the discarded events without
+        counting them as drops — ``clear`` is an operator action, not
+        overload.
+        """
         with self._lock:
-            self._buffer.clear()
+            self._size = 0
+            self._ring = [None] * self.capacity
+            for subscription in self._subscriptions:
+                subscription._next_seq = self.emitted
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._buffer)
+            return self._size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -136,19 +211,125 @@ class TraceBus:
         )
 
 
-def jsonl_writer(stream: IO[str]) -> Callable[[TraceEvent], None]:
+class TraceSubscription:
+    """A bounded pull cursor over a :class:`TraceBus` ring.
+
+    The subscription is nothing but a sequence number into the bus's ring:
+    :meth:`pop_batch` hands out the events recorded since the last pop, and
+    when the ring has already overwritten some of them (the subscriber fell
+    more than ``bus.capacity`` events behind) those are counted in
+    :attr:`dropped` — exact accounting, never back-pressure on emitters.
+
+    Thread-safety: cursor state is only read/written under the bus lock, so
+    any one subscription may be popped from multiple threads (the exporter's
+    drainer and an explicit ``flush``) without extra coordination.
+    """
+
+    def __init__(self, bus: TraceBus, name: str = "subscriber") -> None:
+        self.bus = bus
+        self.name = name
+        self._next_seq = 0
+        #: Events overwritten by the ring before this subscriber read them.
+        self.dropped = 0
+        #: Events handed out through :meth:`pop_batch`.
+        self.delivered = 0
+        self.closed = False
+
+    def pop_batch(self, max_batch: int = 256) -> list[TraceEvent]:
+        """Up to ``max_batch`` unread events, oldest first (may be empty).
+
+        Any events lost to ring overwrites since the previous pop are folded
+        into :attr:`dropped` first, so after every call
+        ``delivered + dropped + pending() == bus.emitted - start`` holds
+        exactly.
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        bus = self.bus
+        with bus._lock:
+            if self.closed:
+                return []
+            oldest = bus.emitted - bus._size
+            if self._next_seq < oldest:
+                self.dropped += oldest - self._next_seq
+                self._next_seq = oldest
+            take = min(max_batch, bus.emitted - self._next_seq)
+            if take <= 0:
+                return []
+            batch = bus._snapshot_locked(self._next_seq, take)
+            self._next_seq += take
+            self.delivered += take
+        return batch
+
+    def pending(self) -> int:
+        """Unread events still retained by the ring (excludes lost ones)."""
+        bus = self.bus
+        with bus._lock:
+            oldest = bus.emitted - bus._size
+            return bus.emitted - max(self._next_seq, oldest)
+
+    def lag(self) -> int:
+        """Total unread events, including those already overwritten."""
+        bus = self.bus
+        with bus._lock:
+            return bus.emitted - self._next_seq
+
+    def close(self) -> None:
+        """Detach from the bus; subsequent pops return nothing."""
+        bus = self.bus
+        with bus._lock:
+            self.closed = True
+            try:
+                bus._subscriptions.remove(self)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSubscription({self.name!r}, pending={self.pending()}, "
+            f"delivered={self.delivered}, dropped={self.dropped})"
+        )
+
+
+def jsonl_writer(
+    stream: IO[str],
+    on_error: Callable[[BaseException], None] | None = None,
+) -> Callable[[TraceEvent], None]:
     """Build a listener that streams events to ``stream`` as JSON lines.
 
     Usage::
 
         detach = bus.listen(jsonl_writer(open("trace.jsonl", "w")))
+
+    A closed or raising stream must never disrupt the emitting thread (the
+    listener runs inside propagation waves): write failures are swallowed,
+    counted on the returned callable's ``errors`` attribute, logged once,
+    and reported to ``on_error`` when given (the telemetry hub uses that to
+    feed the ``export_sink_errors_total`` counter).
     """
 
     lock = threading.Lock()
+    state = {"errors": 0, "logged": False}
 
     def write(event: TraceEvent) -> None:
-        line = json.dumps(event_to_dict(event), default=str)
-        with lock:
-            stream.write(line + "\n")
+        try:
+            line = json.dumps(event_to_dict(event), default=str)
+            with lock:
+                stream.write(line + "\n")
+        except Exception as exc:
+            state["errors"] += 1
+            write.errors = state["errors"]  # type: ignore[attr-defined]
+            if not state["logged"]:
+                state["logged"] = True
+                log.warning(
+                    "jsonl_writer: stream raised; suppressing further "
+                    "write errors (counted instead)", exc_info=True,
+                )
+            if on_error is not None:
+                try:
+                    on_error(exc)
+                except Exception:  # pragma: no cover - defensive
+                    log.exception("jsonl_writer: on_error callback raised")
 
+    write.errors = 0  # type: ignore[attr-defined]
     return write

@@ -1,0 +1,628 @@
+"""Tests for the telemetry export pipeline (exporter, sinks, subscriptions).
+
+The contracts under test are the ones `docs/METADATA_GUIDE.md` promises:
+
+* the bounded queue **drops and counts** under overload — it never blocks
+  or slows the emitting thread;
+* ``flush``/``close`` deliver every event still retained by the ring;
+* the TCP sink reconnects with backoff after a dropped connection;
+* fan-out delivers identical record sequences to every subscriber.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.telemetry.events import WaveRefresh, WaveStart, event_to_dict
+from repro.telemetry.hub import Telemetry, render_dashboard
+from repro.telemetry.sinks import (
+    ExportSink,
+    FanOutSink,
+    JsonlFileSink,
+    TcpLineSink,
+)
+from repro.telemetry.trace import TraceBus, jsonl_writer
+
+
+class CollectingSink(ExportSink):
+    """Test double: records every batch, optionally failing on demand."""
+
+    name = "collect"
+
+    def __init__(self) -> None:
+        self.batches: list[list[dict]] = []
+        self.flushes = 0
+        self.closes = 0
+        self.fail = False
+
+    def write_batch(self, records: list[dict]) -> None:
+        if self.fail:
+            raise IOError("sink down")
+        self.batches.append(records)
+
+    def flush(self) -> None:
+        self.flushes += 1
+
+    def close(self) -> None:
+        self.closes += 1
+
+    @property
+    def records(self) -> list[dict]:
+        return [record for batch in self.batches for record in batch]
+
+    def trace_records(self) -> list[dict]:
+        return [r for r in self.records if r["kind"] != "metrics.snapshot"]
+
+
+def drain_events(sink: CollectingSink) -> list[str]:
+    return [r["node"] for r in sink.trace_records()]
+
+
+# ---------------------------------------------------------------------------
+# TraceSubscription — the bounded pull cursor
+# ---------------------------------------------------------------------------
+
+
+class TestTraceSubscription:
+    def test_pop_batch_returns_events_in_order(self):
+        bus = TraceBus(capacity=16)
+        sub = bus.subscribe()
+        for i in range(5):
+            bus.record(WaveStart(node=f"n{i}"))
+        batch = sub.pop_batch(3)
+        assert [e.node for e in batch] == ["n0", "n1", "n2"]
+        assert [e.node for e in sub.pop_batch(10)] == ["n3", "n4"]
+        assert sub.pop_batch() == []
+        assert sub.delivered == 5
+
+    def test_subscription_starts_at_now_not_history(self):
+        bus = TraceBus(capacity=16)
+        bus.record(WaveStart(node="old"))
+        sub = bus.subscribe()
+        bus.record(WaveStart(node="new"))
+        assert [e.node for e in sub.pop_batch()] == ["new"]
+
+    def test_overflow_drops_oldest_and_counts_exactly(self):
+        bus = TraceBus(capacity=8)
+        sub = bus.subscribe()
+        for i in range(30):
+            bus.record(WaveStart(node=f"n{i}"))
+        batch = sub.pop_batch(100)
+        # The ring holds the newest 8; everything older was overwritten.
+        assert [e.node for e in batch] == [f"n{i}" for i in range(22, 30)]
+        assert sub.dropped == 22
+        assert sub.delivered + sub.dropped == bus.emitted
+
+    def test_slow_consumer_never_blocks_emitter(self):
+        bus = TraceBus(capacity=4)
+        bus.subscribe()  # never popped: the worst possible consumer
+        started = time.perf_counter()
+        for i in range(10_000):
+            bus.record(WaveStart(node=f"n{i}"))
+        elapsed = time.perf_counter() - started
+        # 10k records must complete promptly (no waits anywhere on the
+        # emitting path); generous bound for slow CI boxes.
+        assert elapsed < 2.0
+        assert bus.emitted == 10_000
+
+    def test_pending_and_lag(self):
+        bus = TraceBus(capacity=4)
+        sub = bus.subscribe()
+        for i in range(6):
+            bus.record(WaveStart(node=f"n{i}"))
+        assert sub.pending() == 4     # retained by the ring
+        assert sub.lag() == 6         # includes the 2 already overwritten
+        sub.pop_batch(100)
+        assert sub.pending() == 0
+        assert sub.dropped == 2
+
+    def test_clear_skips_ahead_without_counting_drops(self):
+        bus = TraceBus(capacity=8)
+        sub = bus.subscribe()
+        for _ in range(5):
+            bus.record(WaveStart())
+        bus.clear()
+        assert sub.pop_batch() == []
+        assert sub.dropped == 0
+
+    def test_close_detaches(self):
+        bus = TraceBus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.record(WaveStart())
+        assert sub.pop_batch() == []
+        assert bus.subscriptions() == []
+
+    def test_concurrent_producers_exact_accounting(self):
+        bus = TraceBus(capacity=64)
+        sub = bus.subscribe()
+        total = 0
+        done = threading.Event()
+
+        def produce(n):
+            for _ in range(n):
+                bus.record(WaveStart())
+
+        threads = [threading.Thread(target=produce, args=(500,))
+                   for _ in range(4)]
+        for t in threads:
+            t.start()
+        drained = 0
+        while any(t.is_alive() for t in threads) or sub.pending():
+            drained += len(sub.pop_batch(32))
+        for t in threads:
+            t.join()
+        drained += len(sub.pop_batch(10_000))
+        assert drained + sub.dropped == 2000
+        assert sub.delivered == drained
+
+
+# ---------------------------------------------------------------------------
+# The exporter drainer
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryExporter:
+    def test_flush_on_close_delivers_all_enqueued(self):
+        tel = Telemetry(capacity=4096)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, flush_interval=5.0,
+                                       metrics_interval=None, start=False)
+        for i in range(700):
+            tel.emit(WaveStart(node=f"n{i}"))
+        exporter.close()
+        assert drain_events(sink) == [f"n{i}" for i in range(700)]
+        assert sink.closes == 1
+        # 700 events at batch_size 256 -> 3 batches.
+        assert [len(b) for b in sink.batches] == [256, 256, 188]
+
+    def test_overflow_drops_and_counts_never_blocks(self):
+        tel = Telemetry(capacity=32)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, flush_interval=5.0,
+                                       metrics_interval=None, start=False)
+        for i in range(1000):
+            tel.emit(WaveStart(node=f"n{i}"))
+        exporter.close()
+        sub = exporter.subscription
+        assert len(drain_events(sink)) == sub.delivered
+        assert sub.delivered + sub.dropped == 1000
+        assert sub.dropped == 1000 - 32
+        # Queue drops are mirrored into the metric series.
+        counter = tel.metrics.counter(
+            "export_queue_dropped_total", {"exporter": exporter.name})
+        assert counter.value == sub.dropped
+
+    def test_background_drainer_delivers_without_flush(self):
+        tel = Telemetry(capacity=4096)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, flush_interval=0.005,
+                                       metrics_interval=None)
+        for i in range(10):
+            tel.emit(WaveStart(node=f"n{i}"))
+        deadline = time.monotonic() + 5.0
+        while len(sink.records) < 10 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert drain_events(sink) == [f"n{i}" for i in range(10)]
+        exporter.close()
+
+    def test_failing_sink_counts_and_other_sinks_unaffected(self, caplog):
+        tel = Telemetry(capacity=4096)
+        bad, good = CollectingSink(), CollectingSink()
+        bad.fail = True
+        exporter = tel.attach_exporter(bad, good, flush_interval=5.0,
+                                       metrics_interval=None, start=False)
+        for i in range(10):
+            tel.emit(WaveStart(node=f"n{i}"))
+        with caplog.at_level("WARNING", logger="repro.telemetry.export"):
+            exporter.flush()
+        assert len(drain_events(good)) == 10
+        bad_progress, good_progress = exporter.progress
+        assert bad_progress.errors == 1
+        assert bad_progress.dropped == 10
+        assert good_progress.events == 10
+        assert tel.metrics.counter(
+            "export_sink_errors_total", {"sink": "collect"}).value >= 1
+        assert any("sink" in r.message for r in caplog.records)
+        # The warning is emitted once, not per batch.
+        for i in range(10):
+            tel.emit(WaveStart(node=f"m{i}"))
+        with caplog.at_level("WARNING", logger="repro.telemetry.export"):
+            count_before = len(caplog.records)
+            exporter.flush()
+        assert len(caplog.records) == count_before
+        exporter.close()
+
+    def test_metrics_snapshot_records_travel_in_band(self):
+        tel = Telemetry(capacity=4096)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, flush_interval=5.0,
+                                       metrics_interval=1.0, start=False)
+        tel.emit(WaveStart(node="n"))
+        exporter.close()  # close writes one final snapshot
+        snapshots = [r for r in sink.records if r["kind"] == "metrics.snapshot"]
+        assert len(snapshots) == 1
+        assert "waves_total" in snapshots[0]["series"]["counters"]
+        assert exporter.metrics_snapshots == 1
+
+    def test_progress_format(self):
+        tel = Telemetry(capacity=65536)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, metrics_interval=None,
+                                       start=False)
+        for i in range(45_200):
+            tel.emit(WaveStart(node="n"))
+        exporter.flush()
+        # 45_200 events / 256 per batch -> 177 batches.
+        line = exporter.progress[0].format()
+        assert line == "collect: batch 177, 45.2k events, 0 dropped"
+        exporter.close()
+
+    def test_describe_and_dashboard_surface_export_health(self):
+        tel = Telemetry(capacity=4096)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, metrics_interval=None,
+                                       name="ship", start=False)
+        tel.emit(WaveStart(node="n"))
+        exporter.flush()
+        described = tel.describe()
+        assert described["exporters"][0]["name"] == "ship"
+        assert described["exporters"][0]["sinks"][0]["events"] == 1
+        dashboard = render_dashboard(tel)
+        assert "exporters" in dashboard
+        assert "ship" in dashboard
+        exporter.close()
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        tel = Telemetry(capacity=64)
+        sink = CollectingSink()
+        with tel.attach_exporter(sink, metrics_interval=None) as exporter:
+            tel.emit(WaveStart(node="n"))
+        assert sink.closes == 1
+        exporter.close()
+        assert sink.closes == 1
+        assert not exporter.running
+
+    def test_disable_telemetry_closes_exporters(self):
+        from repro.common.clock import VirtualClock
+        from repro.metadata.registry import MetadataSystem
+        from repro.metadata.scheduling import VirtualTimeScheduler
+
+        clock = VirtualClock()
+        system = MetadataSystem(clock, VirtualTimeScheduler(clock))
+        telemetry = system.enable_telemetry()
+        sink = CollectingSink()
+        telemetry.attach_exporter(sink, metrics_interval=None)
+        system.disable_telemetry()
+        assert sink.closes == 1
+        assert telemetry.exporters == []
+
+    def test_validation(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            tel.attach_exporter()  # no sinks
+        with pytest.raises(ValueError):
+            tel.attach_exporter(CollectingSink(), batch_size=0)
+        with pytest.raises(ValueError):
+            tel.attach_exporter(CollectingSink(), cpu_budget=1.5)
+        with pytest.raises(ValueError):
+            tel.attach_exporter(CollectingSink(), flush_interval=0.0)
+
+    def test_cpu_budget_paces_but_still_delivers(self):
+        tel = Telemetry(capacity=8192)
+        sink = CollectingSink()
+        exporter = tel.attach_exporter(sink, flush_interval=0.005,
+                                       metrics_interval=None, cpu_budget=0.5)
+        for i in range(100):
+            tel.emit(WaveStart(node=f"n{i}"))
+        deadline = time.monotonic() + 5.0
+        while len(sink.records) < 100 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        exporter.close()
+        assert len(drain_events(sink)) == 100
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class TestJsonlFileSink:
+    def test_writes_jsonl_and_rotates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(path, max_bytes=500, max_files=3)
+        record = event_to_dict(WaveRefresh(node="n", key="k"))
+        for _ in range(4):
+            sink.write_batch([record] * 5)
+        sink.close()
+        rotated = sorted(p.name for p in tmp_path.iterdir())
+        assert "trace.jsonl.1" in rotated
+        assert sink.rotations >= 1
+        # Every kept line is valid JSON.
+        for file in tmp_path.iterdir():
+            for line in file.read_text().splitlines():
+                assert json.loads(line)["kind"] == "wave.refresh"
+
+    def test_rotation_keeps_at_most_max_files(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlFileSink(path, max_bytes=50, max_files=2)
+        for i in range(20):
+            sink.write_batch([{"kind": "x", "i": i}])
+        sink.close()
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["t.jsonl.1", "t.jsonl.2"] or \
+            names == ["t.jsonl", "t.jsonl.1", "t.jsonl.2"]
+
+    def test_no_rotation_when_disabled(self, tmp_path):
+        sink = JsonlFileSink(tmp_path / "t.jsonl", max_bytes=None)
+        sink.write_batch([{"kind": "x"}] * 100)
+        sink.close()
+        assert [p.name for p in tmp_path.iterdir()] == ["t.jsonl"]
+
+
+class _LineReceiver(socketserver.ThreadingTCPServer):
+    """Loopback server collecting received lines; can be torn down."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, port: int = 0):
+        self.lines: list[bytes] = []
+        self.lines_lock = threading.Lock()
+        self.connections: list[socket.socket] = []
+        server = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                with server.lines_lock:
+                    server.connections.append(self.connection)
+                for line in self.rfile:
+                    with server.lines_lock:
+                        server.lines.append(line.rstrip(b"\n"))
+
+        super().__init__(("127.0.0.1", port), Handler)
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def line_count(self) -> int:
+        with self.lines_lock:
+            return len(self.lines)
+
+    def stop(self):
+        self.shutdown()
+        self.server_close()
+        # Tear down established connections too, so clients see the drop
+        # (the handler threads would otherwise hold them open).
+        with self.lines_lock:
+            connections = list(self.connections)
+            self.connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            connection.close()
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestTcpLineSink:
+    def test_sends_line_protocol(self):
+        server = _LineReceiver()
+        try:
+            sink = TcpLineSink("127.0.0.1", server.port)
+            sink.write_batch([{"kind": "a", "n": 1}, {"kind": "b", "n": 2}])
+            sink.close()
+            assert _wait_for(lambda: server.line_count() == 2)
+            assert json.loads(server.lines[0]) == {"kind": "a", "n": 1}
+        finally:
+            server.stop()
+
+    def test_dropped_connection_arms_backoff(self):
+        server = _LineReceiver()
+        port = server.port
+        sink = TcpLineSink("127.0.0.1", port, connect_timeout=1.0,
+                           backoff=60.0, max_backoff=60.0)
+        try:
+            sink.write_batch([{"kind": "first"}])
+            assert _wait_for(lambda: server.line_count() == 1)
+            assert sink.connects == 1
+        finally:
+            server.stop()
+
+        # The peer is gone: writes fail (the first sends may land in the
+        # dead socket's buffer before the RST surfaces), disconnecting the
+        # sink and arming the backoff window.
+        with pytest.raises(OSError):
+            for _ in range(100):
+                sink.write_batch([{"kind": "lost"}])
+                time.sleep(0.001)
+        assert not sink.connected
+        assert sink.failures >= 1
+
+        # Inside the 60s window: fail fast, no blocking connect attempt.
+        started = time.perf_counter()
+        with pytest.raises(ConnectionError, match="backing off"):
+            sink.write_batch([{"kind": "too-soon"}])
+        assert time.perf_counter() - started < 0.5
+
+    def test_reconnect_resumes_delivery(self):
+        # connect -> server down -> errors + backoff -> server back on the
+        # SAME port -> the sink reconnects once the window elapses.
+        server = _LineReceiver()
+        port = server.port
+        sink = TcpLineSink("127.0.0.1", port, connect_timeout=1.0,
+                           backoff=0.02, max_backoff=0.1)
+        sink.write_batch([{"kind": "one"}])
+        assert _wait_for(lambda: server.line_count() == 1)
+        server.stop()
+
+        with pytest.raises(OSError):
+            for _ in range(100):
+                sink.write_batch([{"kind": "lost"}])
+                time.sleep(0.001)
+
+        server2 = _LineReceiver(port)
+        try:
+            deadline = time.monotonic() + 5.0
+            delivered = False
+            while time.monotonic() < deadline:
+                try:
+                    sink.write_batch([{"kind": "after-reconnect"}])
+                    delivered = True
+                    break
+                except OSError:
+                    time.sleep(0.02)
+            assert delivered
+            assert sink.connects == 2
+            sink.close()
+            assert _wait_for(
+                lambda: any(b"after-reconnect" in line
+                            for line in server2.lines))
+        finally:
+            server2.stop()
+
+    def test_connect_failure_arms_backoff(self):
+        # Nothing listens on this port (bind-then-close reserves a dead one).
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sink = TcpLineSink("127.0.0.1", port, connect_timeout=0.2,
+                           backoff=10.0, max_backoff=10.0)
+        with pytest.raises(OSError):
+            sink.write_batch([{"kind": "x"}])
+        assert sink.failures == 1
+        with pytest.raises(ConnectionError, match="backing off"):
+            sink.write_batch([{"kind": "y"}])
+        assert sink.failures == 1  # fail-fast does not re-count
+
+
+class TestFanOutSink:
+    def test_identical_sequences_to_all_subscribers(self):
+        tel = Telemetry(capacity=4096)
+        fan = FanOutSink()
+        subscribers = [fan.subscribe() for _ in range(5)]
+        exporter = tel.attach_exporter(fan, metrics_interval=None, start=False)
+        for i in range(300):
+            tel.emit(WaveStart(node=f"n{i}"))
+        exporter.close()
+        sequences = [
+            [r["node"] for r in s.pop() if r["kind"] != "metrics.snapshot"]
+            for s in subscribers
+        ]
+        assert sequences[0] == [f"n{i}" for i in range(300)]
+        assert all(seq == sequences[0] for seq in sequences)
+
+    def test_slow_subscriber_drops_counted_others_unaffected(self):
+        fan = FanOutSink(capacity=8)
+        slow = fan.subscribe()
+        fast = fan.subscribe(capacity=1000)
+        for i in range(100):
+            fan.write_batch([{"kind": "x", "i": i}])
+        assert slow.dropped == 92
+        assert [r["i"] for r in slow.pop()] == list(range(92, 100))
+        assert fast.dropped == 0
+        assert len(fast.pop()) == 100
+
+    def test_wait_and_pop(self):
+        fan = FanOutSink()
+        sub = fan.subscribe()
+        assert not sub.wait(timeout=0.01)
+        fan.write_batch([{"kind": "x"}])
+        assert sub.wait(timeout=1.0)
+        assert sub.pop(1) == [{"kind": "x"}]
+        assert not sub.wait(timeout=0.01)
+
+    def test_unsubscribe_stops_delivery(self):
+        fan = FanOutSink()
+        sub = fan.subscribe()
+        sub.close()
+        fan.write_batch([{"kind": "x"}])
+        assert sub.pop() == []
+        assert fan.subscriber_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellites: jsonl_writer hardening + ring drop counter
+# ---------------------------------------------------------------------------
+
+
+class _BrokenStream:
+    def write(self, text: str) -> int:
+        raise IOError("stream closed")
+
+
+class TestJsonlWriterHardening:
+    def test_broken_stream_never_disrupts_emitters(self, caplog):
+        bus = TraceBus()
+        writer = jsonl_writer(_BrokenStream())
+        bus.listen(writer)
+        with caplog.at_level("WARNING", logger="repro.telemetry.trace"):
+            for _ in range(5):
+                bus.record(WaveStart(node="n"))  # must not raise
+        assert bus.emitted == 5
+        assert writer.errors == 5
+        # Logged once, not once per event.
+        warnings = [r for r in caplog.records if "jsonl_writer" in r.message]
+        assert len(warnings) == 1
+
+    def test_on_error_callback_feeds_counters(self):
+        errors: list[BaseException] = []
+        writer = jsonl_writer(_BrokenStream(), on_error=errors.append)
+        writer(WaveStart(node="n"))
+        assert len(errors) == 1
+        assert isinstance(errors[0], IOError)
+
+    def test_working_stream_unchanged(self):
+        import io
+        stream = io.StringIO()
+        writer = jsonl_writer(stream)
+        bus = TraceBus(VirtualClock())
+        bus.listen(writer)
+        bus.record(WaveStart(node="n", key="k"))
+        line = json.loads(stream.getvalue())
+        assert line["kind"] == "wave.start"
+        assert writer.errors == 0
+
+
+class TestRingDropCounter:
+    def test_ring_overwrite_increments_counter_exactly(self):
+        tel = Telemetry(capacity=4)
+        for _ in range(10):
+            tel.emit(WaveStart(node="n"))
+        counter = tel.metrics.counter("trace_events_dropped_total")
+        assert counter.value == 6
+        assert tel.bus.dropped == 6
+
+    def test_dashboard_surfaces_overflow(self):
+        tel = Telemetry(capacity=4)
+        for _ in range(10):
+            tel.emit(WaveStart(node="n"))
+        dashboard = render_dashboard(tel)
+        assert "trace_events_dropped_total" in dashboard
+        assert "ring overflow" in dashboard
+
+    def test_no_counter_noise_without_drops(self):
+        tel = Telemetry(capacity=64)
+        tel.emit(WaveStart(node="n"))
+        snapshot = tel.metrics.snapshot()
+        assert "trace_events_dropped_total" not in snapshot["counters"]
