@@ -8,6 +8,7 @@ instead of eyeballing log output:
 * suite ``propagation``  (``bench_wave_cache.py``)   -> ``BENCH_propagation.json``
 * suite ``subscription`` (``bench_subscribe_many.py``) -> ``BENCH_subscription.json``
 * suite ``export``       (``bench_export.py``)       -> ``BENCH_export.json``
+* suite ``fault``        (``bench_fault_overhead.py``) -> ``BENCH_fault.json``
 
 Reports are written at the repository root (committed alongside the code
 they measure) and compared against the checked-in baselines in
@@ -110,6 +111,22 @@ SUITES: dict[str, dict] = {
             "drop_accounting_exact": {
                 "direction": "higher_is_better", "unit": "bool",
                 "compare": True, "gate_min": 1.0},
+        },
+    },
+    "fault": {
+        "module": "bench_fault_overhead",
+        "source": "benchmarks/bench_fault_overhead.py",
+        "report": "BENCH_fault.json",
+        "metrics": {
+            "fault_overhead_pct": {
+                "direction": "lower_is_better", "unit": "percent",
+                "compare": False, "gate_max": 3.0},
+            "policy_overhead_pct": {
+                "direction": "lower_is_better", "unit": "percent",
+                "compare": False},
+            "fault_waves_per_second": {
+                "direction": "higher_is_better", "unit": "waves/s",
+                "compare": False},
         },
     },
 }

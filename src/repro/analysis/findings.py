@@ -103,6 +103,9 @@ CODES: dict[str, CodeInfo] = {
         CodeInfo("MD008", Severity.WARNING,
                  "duplicate dependency subscription defeats handler sharing",
                  "Section 3.2.3"),
+        CodeInfo("MD009", Severity.WARNING,
+                 "failure-policy retries on an on-demand item double-consume "
+                 "a shared destructive-read probe", "Section 3.1, Figure 4"),
         CodeInfo("LK000", Severity.ERROR,
                  "source file could not be parsed"),
         CodeInfo("LK001", Severity.ERROR,
@@ -115,6 +118,9 @@ CODES: dict[str, CodeInfo] = {
                  "side (upgrade is rejected at runtime)"),
         CodeInfo("LK004", Severity.WARNING,
                  "broad except swallows errors inside a lock-held region"),
+        CodeInfo("LK005", Severity.WARNING,
+                 "broad except without a log, raise, or error counter in the "
+                 "handler block"),
     )
 }
 

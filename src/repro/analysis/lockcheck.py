@@ -19,6 +19,10 @@ LK003  ``ReentrantRWLock`` write-acquire while the same lock's read side is
 LK004  a bare/broad ``except`` whose body is only ``pass`` inside a
        lock-held region — errors swallowed while invariants are half-
        updated are the worst place to swallow errors
+LK005  a bare/broad ``except`` anywhere whose body neither re-raises,
+       logs, nor records the error (no counter increment, no assignment
+       to an error-named slot) — failures that leave no trace are what
+       make refresh problems undiagnosable in production
 =====  ====================================================================
 
 How the hierarchy is encoded
@@ -141,6 +145,51 @@ def _swallows_silently(handler: ast.ExceptHandler) -> bool:
             and stmt.value.value is Ellipsis)
         for stmt in body
     )
+
+
+#: Assignment targets whose terminal name marks the handler as *recording*
+#: the failure (e.g. ``report.error = exc`` in the race checker).
+_FAILURE_NAME_RE = re.compile(
+    r"(?:^|_)(?:err(?:or)?|exc|exception|fail(?:ed|ure)?|cause)s?$",
+    re.IGNORECASE)
+
+#: Call targets that count as observable error handling: loggers, counter
+#: increments, telemetry emission, failure-recording helpers.  Generous on
+#: purpose — a missed true positive is cheaper than lint noise.
+_FAILURE_CALL_RE = re.compile(
+    r"(?:log|warn|error|exception|critical|debug|info|print|record|fail|"
+    r"inc|observe|count|emit|append|report|abort|retry|nack)",
+    re.IGNORECASE)
+
+
+def _records_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body observably accounts for the error.
+
+    Accepted evidence: a ``raise`` (re-raise or wrap), an augmented
+    assignment (counter increment), an assignment whose target is an
+    error-named slot (``report.error = exc``), a call whose terminal
+    name looks like logging / counting / failure recording, or any use of
+    the bound exception object (``except ... as exc`` followed by a body
+    that references ``exc`` is stashing the error somewhere, not
+    discarding it).
+    """
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.AugAssign)):
+                return True
+            if handler.name is not None and isinstance(node, ast.Name) \
+                    and node.id == handler.name:
+                return True
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _terminal_name(target)
+                    if name is not None and _FAILURE_NAME_RE.search(name):
+                        return True
+            if isinstance(node, ast.Call):
+                name = _terminal_name(node.func)
+                if name is not None and _FAILURE_CALL_RE.search(name):
+                    return True
+    return False
 
 
 _BLOCKING_SLEEP = {"sleep"}
@@ -291,20 +340,29 @@ class _FunctionLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Try(self, node: ast.Try) -> None:
-        if self.held:
-            for handler in node.handlers:
-                if _is_broad_handler(handler) and _swallows_silently(handler):
-                    holder = self.held[-1]
-                    what = ("bare except" if handler.type is None
-                            else f"except {ast.unparse(handler.type)}")
-                    self._report(
-                        "LK004", handler.lineno,
-                        f"{what}: pass inside a lock-held region "
-                        f"(`{holder.expr}` since line {holder.line}) "
-                        f"swallows errors while shared state may be "
-                        f"half-updated; log the failure with the "
-                        f"handler's key or re-raise",
-                        lock=holder.expr)
+        for handler in node.handlers:
+            if not _is_broad_handler(handler):
+                continue
+            what = ("bare except" if handler.type is None
+                    else f"except {ast.unparse(handler.type)}")
+            if self.held and _swallows_silently(handler):
+                holder = self.held[-1]
+                self._report(
+                    "LK004", handler.lineno,
+                    f"{what}: pass inside a lock-held region "
+                    f"(`{holder.expr}` since line {holder.line}) "
+                    f"swallows errors while shared state may be "
+                    f"half-updated; log the failure with the "
+                    f"handler's key or re-raise",
+                    lock=holder.expr)
+            elif not _records_failure(handler):
+                self._report(
+                    "LK005", handler.lineno,
+                    f"{what} leaves no trace of the error: the body "
+                    f"neither re-raises, logs, nor records it in a "
+                    f"counter; log the failure with the failing "
+                    f"handler's key or account for it explicitly",
+                )
         self.generic_visit(node)
 
     # Nested function definitions get a fresh lock context (a nested def's

@@ -29,6 +29,11 @@ MD008  the same dependency target appears twice in one definition —
        redundant subscription; ``ctx.value`` becomes ambiguous and the
        duplicate-notification suppression of Section 3.2.3 has to repair
        what the plan should not contain
+MD009  a failure policy with retries on an on-demand item whose
+       computation reads a destructive-read gathering probe — every retry
+       consumes another measurement window, so a transient failure
+       corrupts the very value the retry is trying to save (the Figure 4
+       interference, self-inflicted)
 =====  ====================================================================
 
 Checks MD001/MD002/MD003/MD006/MD007/MD008 are purely structural and work
@@ -394,6 +399,36 @@ def _check_duplicate_subscription(index: PlanIndex) -> Iterator[Finding]:
             seen.add(target)
 
 
+def _check_retry_probe_consumption(index: PlanIndex) -> Iterator[Finding]:
+    """MD009 — failure-policy retries over a destructive-read probe.
+
+    An on-demand computation that reads a read-and-reset probe consumes the
+    measurement window.  With ``max_retries >= 1`` a transient failure makes
+    the handler read the probe again within the same logical access; the
+    second read sees a near-empty window, so the retried value is wrong in
+    exactly the way MD004 describes — except here a *single* consumer is
+    enough to interfere with itself.
+    """
+    for vertex, (registry, definition) in index.vertices.items():
+        if definition.mechanism is not Mechanism.ON_DEMAND:
+            continue
+        policy = definition.failure_policy
+        if policy is None or policy.max_retries < 1:
+            continue
+        for probe in _stateful_probes(registry, definition):
+            yield _finding(
+                "MD009", index.subject(vertex),
+                f"failure policy allows {policy.max_retries} retr"
+                f"{'y' if policy.max_retries == 1 else 'ies'} but the "
+                f"computation reads the destructive gathering probe "
+                f"{probe.name!r}: each retry resets the measurement "
+                f"window mid-access and the retried value is computed "
+                f"from a truncated window; set max_retries=0 for this "
+                f"item or gather into a probe that tolerates re-reads "
+                f"(a gauge)",
+                {"probe": probe.name, "max_retries": policy.max_retries})
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -417,6 +452,7 @@ def verify_system(system: MetadataSystem, *,
     findings.extend(_check_never_fires(index))
     findings.extend(_check_period_aliasing(index))
     findings.extend(_check_duplicate_subscription(index))
+    findings.extend(_check_retry_probe_consumption(index))
     findings = sort_findings(findings)
 
     tel = system.telemetry

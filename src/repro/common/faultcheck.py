@@ -1,0 +1,227 @@
+"""Deterministic fault injection for robustness tests.
+
+A :class:`FaultPlan` is a seeded, schedule-driven description of *which*
+calls fail, by key.  Compute functions, probes and export sinks consult the
+plan through :meth:`check`/:meth:`wrap`; the plan decides — deterministically
+— whether that particular call raises :class:`FaultInjected`, sleeps, or
+passes.  Two plans built with the same seed and rules produce byte-identical
+fault sequences, so chaos tests replay exactly.
+
+Rule types per key (combinable; any firing rule fails the call):
+
+* :meth:`flaky` — fail the first *N* calls, then succeed (recovery testing);
+* :meth:`fail_on` — fail specific 1-based call indexes;
+* :meth:`fail_rate` — fail each call with probability *p* from a per-key
+  RNG derived from the plan seed (deterministic across runs);
+* :meth:`delay` — sleep before returning (wall clock; for threaded tests).
+
+Plans start ``active`` but can be constructed dormant (``active=False``) and
+flipped with :meth:`activate` once the system under test is built — so
+inclusion/seeding stays fault-free and the chaos window is precise.  While
+dormant, calls are neither counted nor failed.
+
+:class:`FaultInjected` subclasses :class:`RuntimeError`, *not*
+``MetadataError``: injected faults must look like arbitrary provider bugs to
+the runtime, and must never be swallowed by handlers that catch the repo's
+own error hierarchy.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from typing import Any, Callable, Iterable
+
+__all__ = ["FaultInjected", "FaultPlan"]
+
+
+class FaultInjected(RuntimeError):
+    """The exception a :class:`FaultPlan` raises for scheduled faults."""
+
+
+class _KeySpec:
+    """Mutable per-key fault schedule + call accounting."""
+
+    __slots__ = ("fail_first", "fail_calls", "rate", "rng",
+                 "delay_seconds", "delay_calls", "calls", "failures")
+
+    def __init__(self, rng: random.Random) -> None:
+        self.fail_first = 0
+        self.fail_calls: set[int] = set()
+        self.rate = 0.0
+        self.rng = rng
+        self.delay_seconds = 0.0
+        self.delay_calls: set[int] | None = None
+        self.calls = 0
+        self.failures = 0
+
+    def should_fail(self, call: int) -> bool:
+        if call <= self.fail_first:
+            return True
+        if call in self.fail_calls:
+            return True
+        # The rate draw happens on every call once configured, keeping the
+        # per-key RNG stream aligned with the call counter.
+        return bool(self.rate and self.rng.random() < self.rate)
+
+    def delay_for(self, call: int) -> float:
+        if not self.delay_seconds:
+            return 0.0
+        if self.delay_calls is not None and call not in self.delay_calls:
+            return 0.0
+        return self.delay_seconds
+
+    def faults_remaining(self) -> int | None:
+        """Scheduled faults not yet consumed; ``None`` when unbounded
+        (a fail_rate never exhausts)."""
+        if self.rate:
+            return None
+        remaining = max(0, self.fail_first - self.calls)
+        remaining += sum(1 for call in self.fail_calls if call > self.calls)
+        return remaining
+
+
+class FaultPlan:
+    """A deterministic, thread-safe schedule of injected faults."""
+
+    def __init__(self, seed: int = 0, active: bool = True) -> None:
+        self.seed = seed
+        self._mutex = threading.Lock()
+        self._active = active
+        self._specs: dict[str, _KeySpec] = {}
+
+    # -- rule construction -------------------------------------------------
+
+    def _spec(self, key: str) -> _KeySpec:
+        spec = self._specs.get(key)
+        if spec is None:
+            rng = random.Random((self.seed << 1) ^ zlib.crc32(key.encode()))
+            spec = self._specs[key] = _KeySpec(rng)
+        return spec
+
+    def track(self, key: str) -> "FaultPlan":
+        """Register ``key`` for call counting without any fault rule."""
+        with self._mutex:
+            self._spec(key)
+        return self
+
+    def flaky(self, key: str, failures: int) -> "FaultPlan":
+        """Fail the first ``failures`` calls of ``key``, then succeed."""
+        if failures < 0:
+            raise ValueError("failures must be >= 0")
+        with self._mutex:
+            self._spec(key).fail_first = failures
+        return self
+
+    def fail_on(self, key: str, calls: Iterable[int]) -> "FaultPlan":
+        """Fail the given 1-based call indexes of ``key``."""
+        indexes = set(calls)
+        if any(index < 1 for index in indexes):
+            raise ValueError("call indexes are 1-based")
+        with self._mutex:
+            self._spec(key).fail_calls.update(indexes)
+        return self
+
+    def fail_rate(self, key: str, rate: float) -> "FaultPlan":
+        """Fail each call of ``key`` with probability ``rate`` drawn from a
+        per-key RNG seeded by the plan seed (deterministic across runs)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        with self._mutex:
+            self._spec(key).rate = rate
+        return self
+
+    def delay(self, key: str, seconds: float,
+              calls: Iterable[int] | None = None) -> "FaultPlan":
+        """Sleep ``seconds`` (wall clock) before each — or the given 1-based
+        — call(s) of ``key`` return."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        with self._mutex:
+            spec = self._spec(key)
+            spec.delay_seconds = seconds
+            spec.delay_calls = None if calls is None else set(calls)
+        return self
+
+    # -- activation window -------------------------------------------------
+
+    def activate(self) -> None:
+        """Start counting and injecting; calls while dormant are invisible."""
+        with self._mutex:
+            self._active = True
+
+    def deactivate(self) -> None:
+        """Stop injecting (and counting) — e.g. to let a system recover."""
+        with self._mutex:
+            self._active = False
+
+    @property
+    def active(self) -> bool:
+        with self._mutex:
+            return self._active
+
+    # -- injection points --------------------------------------------------
+
+    def check(self, key: str) -> None:
+        """Count one call of ``key``; raise/delay as scheduled.
+
+        Unknown keys (no rule, never tracked) pass through untouched so a
+        plan can be threaded into shared helpers without enumerating every
+        call site up front.
+        """
+        with self._mutex:
+            if not self._active:
+                return
+            spec = self._specs.get(key)
+            if spec is None:
+                return
+            spec.calls += 1
+            call = spec.calls
+            sleep_for = spec.delay_for(call)
+            fail = spec.should_fail(call)
+            if fail:
+                spec.failures += 1
+        if sleep_for:
+            time.sleep(sleep_for)
+        if fail:
+            raise FaultInjected(f"injected fault: {key} (call {call})")
+
+    def wrap(self, key: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap ``fn`` so every invocation consults the plan first."""
+        self.track(key)
+
+        def wrapped(*args: Any, **kwargs: Any) -> Any:
+            self.check(key)
+            return fn(*args, **kwargs)
+
+        return wrapped
+
+    # -- accounting --------------------------------------------------------
+
+    def calls(self, key: str) -> int:
+        with self._mutex:
+            spec = self._specs.get(key)
+            return spec.calls if spec is not None else 0
+
+    def failures(self, key: str) -> int:
+        with self._mutex:
+            spec = self._specs.get(key)
+            return spec.failures if spec is not None else 0
+
+    def exhausted(self, key: str) -> bool:
+        """True when no further fault is scheduled for ``key`` — the signal
+        a chaos test uses to start asserting recovery."""
+        with self._mutex:
+            spec = self._specs.get(key)
+            if spec is None:
+                return True
+            remaining = spec.faults_remaining()
+            return remaining == 0
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-key ``{"calls": n, "failures": m}`` snapshot."""
+        with self._mutex:
+            return {key: {"calls": spec.calls, "failures": spec.failures}
+                    for key, spec in sorted(self._specs.items())}

@@ -165,7 +165,8 @@ class Source(GraphNode):
         if self._distribution_field:
             try:
                 value = element.field(self._distribution_field)
-            except Exception:  # noqa: BLE001 - non-mapping payloads
+            # Non-mapping payloads fall back to "no sample" — not an error.
+            except Exception:  # noqa: BLE001  # analysis: ignore[LK005]
                 value = None
             if isinstance(value, (int, float)):
                 self._histogram_builder.add(value)

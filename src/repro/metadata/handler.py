@@ -22,6 +22,7 @@ Four concrete handler types implement Figure 2's maintenance concepts:
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import TYPE_CHECKING, Any, Sequence
@@ -34,7 +35,17 @@ from repro.metadata.item import (
     MetadataDefinition,
     MetadataKey,
 )
-from repro.telemetry.events import HandlerRefresh, key_of, node_of
+from repro.reliability.breaker import CircuitBreaker, CircuitState
+from repro.telemetry.events import (
+    CircuitClose,
+    CircuitHalfOpen,
+    CircuitOpen,
+    HandlerFailure,
+    HandlerRefresh,
+    RetryScheduled,
+    key_of,
+    node_of,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.registry import MetadataRegistry
@@ -47,6 +58,8 @@ __all__ = [
     "TriggeredHandler",
     "create_handler",
 ]
+
+log = logging.getLogger(__name__)
 
 _UNSET = object()
 
@@ -94,6 +107,15 @@ class MetadataHandler:
         self.compute_count = 0
         self.last_update_time: float | None = None
         self.removed = False
+        self._compare_warned = False
+        # Handlers without a failure policy carry no breaker at all: the
+        # refresh hot path then pays one `is None` check, mirroring the
+        # telemetry discipline (gated by bench_fault_overhead.py).
+        policy = definition.failure_policy
+        self.breaker: CircuitBreaker | None = (
+            CircuitBreaker(policy, registry.clock,
+                           salt=f"{node_of(self)}/{key_of(self.key)}")
+            if policy is not None else None)
 
     # -- identity ----------------------------------------------------------
 
@@ -134,7 +156,17 @@ class MetadataHandler:
             return True
         try:
             return bool(old != value)
-        except Exception:  # noqa: BLE001 - non-comparable values: assume changed
+        except (TypeError, ValueError):
+            # Non-comparable value types: assume changed.  Narrowed from a
+            # bare Exception so a provider bug in __eq__ (KeyError and
+            # friends) surfaces instead of being masked as "changed";
+            # logged once per handler to keep the hot path quiet.
+            if not self._compare_warned:
+                self._compare_warned = True
+                log.debug(
+                    "metadata %r on %s: value comparison raised; treating "
+                    "every store as a change", self.key,
+                    getattr(self.registry.owner, "name", self.registry.owner))
             return True
 
     @property
@@ -143,16 +175,30 @@ class MetadataHandler:
         return self.publishes_every_update or self.definition.always_propagate
 
     def refresh(self) -> None:
-        """Recompute the value now and propagate to dependents."""
+        """Recompute the value now and propagate to dependents.
+
+        With a failure policy attached, the attempt is circuit-governed: a
+        quarantined handler returns quietly (consumers keep the stale
+        last-good value), and the final failure of the retry budget still
+        raises — the caller (typically the periodic scheduler) owns logging
+        and the backoff re-arm.
+        """
         self._ensure_included()
-        tel = self.registry.system.telemetry
-        t0 = time.monotonic() if tel is not None else 0.0
-        with self._lock.write():
-            changed = self._store(self._compute())
-        if tel is not None:
-            tel.emit(HandlerRefresh(node=node_of(self), key=key_of(self.key),
-                                    changed=changed,
-                                    duration=time.monotonic() - t0))
+        if self.breaker is not None:
+            outcome = self._guarded_attempt(retries=0)
+            if outcome is None:
+                return  # quarantined: rest until the next probe is due
+            changed = outcome
+        else:
+            tel = self.registry.system.telemetry
+            t0 = time.monotonic() if tel is not None else 0.0
+            with self._lock.write():
+                changed = self._store(self._compute())
+            if tel is not None:
+                tel.emit(HandlerRefresh(node=node_of(self),
+                                        key=key_of(self.key),
+                                        changed=changed,
+                                        duration=time.monotonic() - t0))
         # Re-check after releasing the item lock: a concurrent exclusion that
         # won the race gets a quiet exit instead of a post-removal wave.
         if self.removed:
@@ -166,11 +212,112 @@ class MetadataHandler:
 
         Unlike :meth:`refresh` this does *not* start a new wave — the running
         wave already covers the dependent closure in topological order.
+        With a failure policy the wave retries immediately (a wave cannot
+        sleep); quarantine skips return False so the wave serves the stale
+        value downstream, and the final failure raises into the engine's
+        error accounting, which poisons exactly this dependent subtree.
         """
         self._ensure_included()
+        if self.breaker is not None:
+            outcome = self._guarded_attempt(
+                retries=self.breaker.policy.max_retries, emit_refresh=False)
+            if outcome is None:
+                return False  # quarantined mid-wave: keep last-good value
+            return outcome or self.propagates_always
         with self._lock.write():
             changed = self._store(self._compute())
         return changed or self.propagates_always
+
+    # -- failure-policy machinery ------------------------------------------
+
+    def _guarded_attempt(self, retries: int,
+                         emit_refresh: bool = True) -> bool | None:
+        """Circuit-governed compute+store with up to ``1 + retries``
+        immediate attempts.
+
+        Returns the changed flag, or ``None`` when the circuit is
+        quarantined with no probe due (the caller serves the last-good
+        value).  The last failure of the budget re-raises after the breaker
+        recorded it.  Immediate retries are for paths that cannot sleep
+        (waves, on-demand access); the periodic backoff retry *is* the
+        scheduler re-arm, so periodic callers pass ``retries=0``.
+        """
+        breaker = self.breaker
+        assert breaker is not None
+        tel = self.registry.system.telemetry
+        allowed, probing = breaker.allow_attempt()
+        if probing is not None and tel is not None:
+            tel.emit(CircuitHalfOpen(node=node_of(self),
+                                     key=key_of(self.key)))
+        if not allowed:
+            return None
+        deadline = breaker.policy.attempt_deadline
+        attempt = 0
+        while True:
+            attempt += 1
+            t0 = time.monotonic()
+            try:
+                with self._lock.write():
+                    changed = self._store(self._compute())
+            except MetadataNotIncludedError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - every provider failure feeds the breaker
+                self._record_failure(exc, tel, deadline_exceeded=False)
+                if attempt <= retries and not breaker.attempt_blocked():
+                    if tel is not None:
+                        tel.emit(RetryScheduled(node=node_of(self),
+                                                key=key_of(self.key),
+                                                attempt=attempt, delay=0.0))
+                    continue
+                raise
+            duration = time.monotonic() - t0
+            if deadline is not None and duration > deadline:
+                # The attempt produced (and kept) a value but overran its
+                # budget: slow is failing as far as the circuit is concerned,
+                # while consumers still get the fresh data.
+                self._record_failure(
+                    HandlerError(
+                        f"metadata {self.ref} attempt exceeded deadline "
+                        f"({duration:.3f}s > {deadline:.3f}s)"),
+                    tel, deadline_exceeded=True)
+            else:
+                transition = breaker.record_success()
+                if transition is not None and tel is not None:
+                    tel.emit(CircuitClose(node=node_of(self),
+                                          key=key_of(self.key)))
+            if emit_refresh and tel is not None:
+                tel.emit(HandlerRefresh(node=node_of(self),
+                                        key=key_of(self.key),
+                                        changed=changed, duration=duration))
+            return changed
+
+    def _record_failure(self, exc: BaseException, tel: Any,
+                        deadline_exceeded: bool) -> None:
+        breaker = self.breaker
+        assert breaker is not None
+        transition = breaker.record_failure(exc)
+        if tel is not None:
+            streak = breaker.consecutive_failures
+            tel.emit(HandlerFailure(
+                node=node_of(self), key=key_of(self.key),
+                error=f"{type(exc).__name__}: {exc}"[:200],
+                consecutive=streak, deadline_exceeded=deadline_exceeded))
+            if transition in ("open", "reopen"):
+                tel.emit(CircuitOpen(node=node_of(self), key=key_of(self.key),
+                                     failures=streak,
+                                     reopened=transition == "reopen"))
+
+    @property
+    def stale(self) -> bool:
+        """Stale-while-failing flag: True while this handler's circuit is
+        unhealthy and reads are served from the last-good value."""
+        breaker = self.breaker
+        return (breaker is not None and self.has_value
+                and breaker.state is not CircuitState.HEALTHY)
+
+    def peek_status(self) -> tuple[Any, bool]:
+        """Stale-while-failing read: ``(last-good value, stale flag)``."""
+        return self.peek(), self.stale
 
     def peek(self) -> Any:
         """Return the cached value without recomputation or access counting.
@@ -274,10 +421,30 @@ class OnDemandHandler(MetadataHandler):
     def get(self) -> Any:
         self._ensure_included()
         self.access_count += 1
-        with self._lock.write():
-            value = self._compute()
-            self._store(value)
-            return value
+        if self.breaker is None:
+            with self._lock.write():
+                value = self._compute()
+                self._store(value)
+                return value
+        # Policy-governed access: retry immediately (a consumer read cannot
+        # sleep), and while quarantined — or when the retry budget is spent —
+        # serve the last-good value flagged stale instead of raising.
+        policy = self.breaker.policy
+        try:
+            outcome = self._guarded_attempt(retries=policy.max_retries)
+        except MetadataNotIncludedError:
+            raise
+        except Exception:  # noqa: BLE001 - breaker recorded it; stale read below
+            if policy.stale_while_failing and self.has_value:
+                return self.peek()
+            raise
+        if outcome is None:
+            if policy.stale_while_failing and self.has_value:
+                return self.peek()
+            raise HandlerError(
+                f"metadata {self.ref} is quarantined after repeated "
+                f"failures and has no last-good value to serve")
+        return self.peek()
 
 
 class PeriodicHandler(MetadataHandler):
@@ -323,6 +490,21 @@ class PeriodicHandler(MetadataHandler):
             # Removed concurrently between the check above and the refresh —
             # a clean cancellation, not an error the scheduler should count.
             return
+
+    def reschedule_delay(self) -> float | None:
+        """Scheduler re-arm override after a tick.
+
+        ``None`` keeps the default drift-free period grid (``deadline +
+        period``) — always the case without a failure policy or while the
+        circuit is healthy, so the no-fault cadence is byte-identical to
+        the pre-reliability one.  With an unhealthy breaker, the periodic
+        retry *is* the re-arm: backoff while retrying, the remaining
+        quarantine rest while quarantined.
+        """
+        breaker = self.breaker
+        if breaker is None:
+            return None
+        return breaker.reschedule_delay()
 
     def get(self) -> Any:
         self._ensure_included()

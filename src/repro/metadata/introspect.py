@@ -50,6 +50,9 @@ def describe_registry(registry: MetadataRegistry) -> dict[str, Any]:
                 "age": (now - handler.last_update_time
                         if handler.last_update_time is not None else None),
             })
+            if handler.breaker is not None:
+                entry["stale"] = handler.stale
+                entry["health"] = handler.breaker.describe()
         items.append(entry)
     return {
         "owner": str(getattr(registry.owner, "name", registry.owner)),
@@ -78,7 +81,39 @@ def describe_system(system: MetadataSystem) -> dict[str, Any]:
             "summary": count_by_severity(findings),
             "findings": [finding.to_dict() for finding in findings],
         },
+        "health": _describe_health(system),
         "registries": [describe_registry(r) for r in system.registries()],
+    }
+
+
+def _describe_health(system: MetadataSystem) -> dict[str, Any]:
+    """Roll-up of every policy-governed handler whose circuit is unhealthy:
+    the stale-while-failing working set an operator needs to see first."""
+    unhealthy: list[dict[str, Any]] = []
+    quarantined = 0
+    for registry in system.registries():
+        owner = str(getattr(registry.owner, "name", registry.owner))
+        for key in registry.included_keys():
+            handler = registry.handler(key)
+            breaker = handler.breaker
+            if breaker is None:
+                continue
+            status = breaker.describe()
+            if status["state"] == "healthy":
+                continue
+            if status["state"] == "quarantined":
+                quarantined += 1
+            unhealthy.append({
+                "node": owner,
+                "key": key.name,
+                "qualifier": list(key.qualifier),
+                "stale": handler.stale,
+                **status,
+            })
+    return {
+        "unhealthy": len(unhealthy),
+        "quarantined": quarantined,
+        "items": unhealthy,
     }
 
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence, Union
 
 from repro.common.errors import MetadataError
+from repro.reliability.policy import FailurePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.registry import MetadataRegistry
@@ -213,6 +214,11 @@ class MetadataDefinition:
         online aggregate — whose every update is a new sample that dependents
         must see even when the numeric value repeats.  Periodic items always
         propagate every refresh (each refresh is a new measurement).
+    failure_policy:
+        Retry/backoff/quarantine behaviour when ``compute`` fails
+        (:class:`repro.reliability.FailurePolicy`).  ``None`` (default)
+        keeps the pre-reliability contract: failures raise immediately and
+        pay zero policy overhead.  Meaningless for ``STATIC`` items.
     """
 
     key: MetadataKey
@@ -225,12 +231,18 @@ class MetadataDefinition:
     description: str = ""
     metadata_class: MetadataClass | None = None
     always_propagate: bool = False
+    failure_policy: FailurePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.mechanism is Mechanism.STATIC:
             if self.compute is None and self.value is None:
                 raise MetadataError(
                     f"static metadata {self.key!r} needs a value or compute function"
+                )
+            if self.failure_policy is not None:
+                raise MetadataError(
+                    f"static metadata {self.key!r} cannot carry a failure "
+                    f"policy (it is computed at most once, at inclusion)"
                 )
         elif self.compute is None:
             raise MetadataError(

@@ -95,6 +95,7 @@ from repro.telemetry.events import (
     WaveEnd,
     WaveEnqueued,
     WaveHop,
+    WavePoisoned,
     WaveRefresh,
     WaveStart,
     WaveSuppressed,
@@ -148,6 +149,16 @@ class PropagationEngine:
         self.refresh_count = 0
         self.suppressed_count = 0  # dependents skipped because inputs were unchanged
         self.error_count = 0       # recomputes that raised (handler keeps old value)
+        # Fault-containment accounting.  Every member a wave intended to
+        # recompute counts as *planned*; it then either recomputes
+        # (refresh_count) or is skipped because its subtree is poisoned —
+        # an in-wave dependency failed, or its own circuit is quarantined
+        # (skipped_poisoned_count).  The conservation law
+        # ``planned == refreshes_delta + skipped_poisoned`` is exact and
+        # pinned by tests/metadata/test_wave_poisoning.py, the same way
+        # PR 1 pinned lost-wave accounting.
+        self.planned_count = 0
+        self.skipped_poisoned_count = 0
         self.plan_hits = 0         # waves that reused a fresh cached plan
         self.plan_misses = 0       # waves that (re)built their plan
         #: Telemetry hub attached by ``MetadataSystem.enable_telemetry``;
@@ -164,7 +175,7 @@ class PropagationEngine:
         # ``_mutex``; cleared eagerly on every epoch bump so stale plans
         # never pin excluded handlers in memory.
         self._topology_epoch = 0
-        self._plans: dict[int, tuple[int, list]] = {}
+        self._plans: dict[int, tuple[int, list, bool]] = {}
 
     # -- public entry points -------------------------------------------------
 
@@ -279,6 +290,7 @@ class PropagationEngine:
         for dependent in handler.dependents():
             if dependent.removed or not dependent.on_dependency_changed(handler):
                 continue
+            self.planned_count += 1
             self.refresh_count += 1
             if self._recompute(dependent):
                 self._recurse_naive(dependent)
@@ -319,24 +331,34 @@ class PropagationEngine:
         order = sorted(handlers, key=lambda h: depth[h])
         return [(handlers[h], tuple(preds[h].values())) for h in order]
 
-    def _plan_entries(self, source: "MetadataHandler") -> list:
-        """Cached plan for ``source``, rebuilt when the topology epoch moved."""
+    def _plan_entries(self, source: "MetadataHandler") -> "tuple[list, bool]":
+        """Cached ``(plan, guarded)`` for ``source``, rebuilt when the
+        topology epoch moved.
+
+        ``guarded`` records whether any plan member carries a circuit
+        breaker.  A breaker exists exactly when the definition had a
+        failure policy, fixed at handler creation — so the flag is as
+        stable as the plan itself and lets the fast path skip per-refresh
+        breaker reads entirely on policy-free topologies (the common case
+        the no-policy overhead gate protects).
+        """
         sid = id(source)
         with self._mutex:
             epoch = self._topology_epoch
             cached = self._plans.get(sid)
             if cached is not None and cached[0] == epoch:
                 self.plan_hits += 1
-                return cached[1]
+                return cached[1], cached[2]
             self.plan_misses += 1
         entries = self._build_plan([source])
+        guarded = any(h.breaker is not None for h, _ in entries)
         with self._mutex:
             # A concurrent wiring change since the epoch was sampled makes
             # this plan stale on arrival: run it (same hazard the uncached
             # engine has between collection and execution) but do not cache.
             if self._topology_epoch == epoch:
-                self._plans[sid] = (epoch, entries)
-        return entries
+                self._plans[sid] = (epoch, entries, guarded)
+        return entries, guarded
 
     def _collect_wave(self, source: "MetadataHandler") -> list["MetadataHandler"]:
         """Triggered-handler closure of ``source``, topologically ordered —
@@ -410,9 +432,9 @@ class PropagationEngine:
         self.drain_count += 1
         tel = self.telemetry
         if self.plan_cache:
-            entries = self._plan_entries(source)
+            entries, guarded = self._plan_entries(source)
             if tel is None:
-                self._execute_plan_fast(entries, source)
+                self._execute_plan_fast(entries, source, guarded)
                 return
             wave, in_wave = self._materialize(entries, {id(source)})
         else:
@@ -454,8 +476,8 @@ class PropagationEngine:
         wave, in_wave = self._materialize(entries, seen)
         self._execute_wave(wave, in_wave, seeds, span)
 
-    def _execute_plan_fast(self, entries: list,
-                           source: "MetadataHandler") -> None:
+    def _execute_plan_fast(self, entries: list, source: "MetadataHandler",
+                           guarded: bool = True) -> None:
         """Untraced single-source execution of a cached plan: one linear
         pass deciding membership, change-cut suppression and refreshes.
 
@@ -463,41 +485,76 @@ class PropagationEngine:
         :meth:`_collect_wave` (see the module docstring); hooks still run
         once per member edge because plan predecessors are deduplicated and
         each entry is visited once.
+
+        Counters accumulate in locals and flush once per wave (the drainer
+        thread owns them, and ``stats()`` reads under the mutex after the
+        drain handoff) — per-refresh attribute writes here are measurable
+        against the no-policy overhead gate in ``bench_fault_overhead.py``.
         """
         changed: set[int] = {id(source)}
         members: set[int] = {id(source)}
-        for handler, preds in entries[1:]:
-            member_preds = [p for p in preds if id(p) in members]
-            if not member_preds:
-                continue
-            wanted = False
-            for pred in member_preds:
-                if handler.on_dependency_changed(pred):
-                    wanted = True
-            if not wanted:
-                continue
-            members.add(id(handler))
-            if handler.removed:
-                continue
-            for pred in member_preds:
-                if id(pred) in changed:
-                    break
-            else:
-                # Refresh only when an in-wave dependency actually changed.
-                self.suppressed_count += 1
-                continue
-            self.refresh_count += 1
-            if self._recompute(handler):
-                changed.add(id(handler))
+        poisoned: set[int] = set()
+        refreshes = suppressed = skipped = 0
+        errors_seen = self.error_count
+        try:
+            for handler, preds in entries[1:]:
+                member_preds = [p for p in preds if id(p) in members]
+                if not member_preds:
+                    continue
+                wanted = False
+                for pred in member_preds:
+                    if handler.on_dependency_changed(pred):
+                        wanted = True
+                if not wanted:
+                    continue
+                members.add(id(handler))
+                if handler.removed:
+                    continue
+                if poisoned and any(id(p) in poisoned for p in member_preds):
+                    # An in-wave dependency kept its stale value: recomputing
+                    # here would fold a half-updated input view.  The poison
+                    # spreads, skipping exactly this dependent subtree.
+                    skipped += 1
+                    poisoned.add(id(handler))
+                    continue
+                for pred in member_preds:
+                    if id(pred) in changed:
+                        break
+                else:
+                    # Refresh only when an in-wave dependency changed.
+                    suppressed += 1
+                    continue
+                if guarded and handler.breaker is not None \
+                        and handler.breaker.attempt_blocked():
+                    # Quarantined with no probe due: let it rest; dependents
+                    # get its stale last-good value, so their subtree is
+                    # poisoned.
+                    skipped += 1
+                    poisoned.add(id(handler))
+                    continue
+                refreshes += 1
+                if self._recompute(handler):
+                    changed.add(id(handler))
+                else:
+                    errors_now = self.error_count
+                    if errors_now > errors_seen:
+                        errors_seen = errors_now
+                        poisoned.add(id(handler))
+        finally:
+            self.refresh_count += refreshes
+            self.suppressed_count += suppressed
+            self.planned_count += refreshes + skipped
+            self.skipped_poisoned_count += skipped
 
     def _execute_wave(self, wave: "list[MetadataHandler]", in_wave: "set[int]",
                       seeds: "list[MetadataHandler]", span: int = 0) -> None:
         tel = self.telemetry
         seed_ids = {id(s) for s in seeds}
         changed_ids = set(seed_ids)
+        poisoned: set[int] = set()
         first = seeds[0]
         if tel is not None:
-            refreshed = suppressed = errors = 0
+            refreshed = suppressed = errors = poisoned_n = 0
             wave_t0 = time.monotonic()
             tel.emit(WaveStart(span=span, node=node_of(first),
                                key=key_of(first.key), wave_size=len(wave),
@@ -511,6 +568,22 @@ class PropagationEngine:
                     tel.emit(WaveSuppressed(span=span, node=node_of(handler),
                                             key=key_of(handler.key),
                                             reason="removed"))
+                continue
+            # Poison spreads before anything else: an in-wave dependency that
+            # kept its stale value makes a recompute here read half-updated
+            # inputs.  Seeds are exempt — their own change already happened
+            # before the wave and must still reach their dependents.
+            if poisoned and not is_seed and any(
+                    id(dep) in poisoned
+                    for _, dep in handler.dependency_handlers):
+                self.planned_count += 1
+                self.skipped_poisoned_count += 1
+                poisoned.add(id(handler))
+                if tel is not None:
+                    poisoned_n += 1
+                    tel.emit(WavePoisoned(span=span, node=node_of(handler),
+                                          key=key_of(handler.key),
+                                          reason="poisoned-input"))
                 continue
             # Refresh only when an in-wave dependency actually changed.  A
             # seed is changed by fiat (its notification said so) and is only
@@ -548,10 +621,29 @@ class PropagationEngine:
                                             key=key_of(handler.key),
                                             reason="unchanged-inputs"))
                 continue
+            breaker = handler.breaker
+            if breaker is not None and not is_seed \
+                    and breaker.attempt_blocked():
+                # Quarantined with no probe due: let it rest; dependents get
+                # its stale last-good value, so their subtree is poisoned.
+                self.planned_count += 1
+                self.skipped_poisoned_count += 1
+                poisoned.add(id(handler))
+                if tel is not None:
+                    poisoned_n += 1
+                    tel.emit(WavePoisoned(span=span, node=node_of(handler),
+                                          key=key_of(handler.key),
+                                          reason="quarantined"))
+                continue
+            self.planned_count += 1
             self.refresh_count += 1
             if tel is None:
-                if self._recompute(handler) or is_seed:
+                errors_before = self.error_count
+                recompute_changed = self._recompute(handler)
+                if recompute_changed or is_seed:
                     changed_ids.add(id(handler))
+                elif self.error_count > errors_before:
+                    poisoned.add(id(handler))
                 continue
             # Traced recompute: counters are drainer-private (see __init__),
             # so before/after deltas attribute errors and concurrent-exclude
@@ -571,6 +663,16 @@ class PropagationEngine:
             refreshed += 1
             if error:
                 errors += 1
+                if not is_seed:
+                    # Recompute failed: the handler keeps its last-good value
+                    # and its dependent subtree is skipped (exact accounting
+                    # above).  Seeds stay changed — their pre-wave change is
+                    # still news for dependents.
+                    poisoned.add(id(handler))
+                    poisoned_n += 1
+                    tel.emit(WavePoisoned(span=span, node=node_of(handler),
+                                          key=key_of(handler.key),
+                                          reason="compute-failed"))
             tel.emit(WaveRefresh(span=span, node=node_of(handler),
                                  key=key_of(handler.key), changed=changed,
                                  error=error, duration=duration))
@@ -579,6 +681,7 @@ class PropagationEngine:
         if tel is not None:
             tel.emit(WaveEnd(span=span, refreshed=refreshed,
                              suppressed=suppressed, errors=errors,
+                             poisoned=poisoned_n,
                              duration=time.monotonic() - wave_t0))
 
     def _recompute(self, handler: "MetadataHandler") -> bool:
@@ -614,6 +717,8 @@ class PropagationEngine:
                 "refreshes": self.refresh_count,
                 "suppressed": self.suppressed_count,
                 "errors": self.error_count,
+                "planned": self.planned_count,
+                "skipped_poisoned": self.skipped_poisoned_count,
                 "pending": len(self._pending),
                 "topology_epoch": self._topology_epoch,
                 "plan_hits": self.plan_hits,

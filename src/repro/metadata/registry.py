@@ -242,6 +242,14 @@ class MetadataSubscription:
     def active(self) -> bool:
         return self._active
 
+    @property
+    def stale(self) -> bool:
+        """Stale-while-failing flag: True while the item's failure policy is
+        serving the last-good value because its provider keeps failing
+        (circuit RETRYING/QUARANTINED/HALF_OPEN).  Always False for items
+        without a :class:`~repro.reliability.FailurePolicy`."""
+        return self.handler.stale
+
     def get(self) -> Any:
         """Current value of the subscribed metadata item."""
         if not self._active:

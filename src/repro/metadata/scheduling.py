@@ -24,7 +24,13 @@ import time
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.common.clock import Clock, Timer, VirtualClock
-from repro.telemetry.events import SchedulerCancel, SchedulerRefresh, key_of, node_of
+from repro.telemetry.events import (
+    RetryScheduled,
+    SchedulerCancel,
+    SchedulerRefresh,
+    key_of,
+    node_of,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.handler import PeriodicHandler
@@ -35,6 +41,17 @@ __all__ = ["PeriodicTask", "PeriodicScheduler", "VirtualTimeScheduler", "Threade
 #: A periodic refresh outliving the unregister backstop is a hung compute —
 #: observable here instead of silently leaking past ``unregister``.
 log = logging.getLogger(__name__)
+
+
+def _reschedule_delay(handler: Any) -> Optional[float]:
+    """Failure-policy re-arm delay, or ``None`` for the period grid.
+
+    Schedulers accept any object with ``period`` and ``periodic_refresh``
+    (tests register bare fakes), so the reliability hook is looked up
+    leniently rather than demanded of every handler-shaped object.
+    """
+    method = getattr(handler, "reschedule_delay", None)
+    return None if method is None else method()
 
 
 class PeriodicTask:
@@ -78,6 +95,9 @@ class PeriodicScheduler:
     #: ``None`` (the default) every scheduler hook is one attribute check.
     telemetry: "Telemetry | None" = None
 
+    #: Label for ``scheduler_refresh_errors_total{mode=...}``.
+    mode = "unknown"
+
     def register(self, handler: "PeriodicHandler") -> PeriodicTask:
         """Begin refreshing ``handler`` every ``handler.period`` time units."""
         raise NotImplementedError
@@ -103,6 +123,8 @@ class VirtualTimeScheduler(PeriodicScheduler):
     define, with zero drift.
     """
 
+    mode = "virtual"
+
     def __init__(self, clock: VirtualClock) -> None:
         self.clock = clock
         self._seq = itertools.count()
@@ -126,19 +148,39 @@ class VirtualTimeScheduler(PeriodicScheduler):
             error = False
             try:
                 task.handler.periodic_refresh()
-            except Exception:  # noqa: BLE001 - one failing item must not
+            except Exception as exc:  # noqa: BLE001 - one failing item must not
                 task.error_count += 1  # derail the whole event loop
                 error = True
+                log.warning("periodic refresh of %s/%s failed: %s",
+                            node_of(task.handler), key_of(task.handler.key),
+                            exc)
             if tel is not None:
                 tel.emit(SchedulerRefresh(node=node_of(task.handler),
                                           key=key_of(task.handler.key),
                                           queue_latency=lateness,
                                           duration=time.monotonic() - t0,
-                                          error=error))
+                                          error=error, mode=self.mode))
             if not task.cancelled:
-                self._arm(task, deadline + task.period)
+                self._rearm(task, deadline, error)
 
         task._timer = self.clock.schedule_at(deadline, fire)
+
+    def _rearm(self, task: PeriodicTask, deadline: float, error: bool) -> None:
+        # A failure policy substitutes backoff / quarantine-rest delays for
+        # the period grid (reschedule_delay() is None without one or while
+        # the circuit is healthy, keeping the drift-free cadence exactly).
+        delay = _reschedule_delay(task.handler)
+        if delay is None:
+            self._arm(task, deadline + task.period)
+            return
+        tel = self.telemetry
+        if tel is not None and error:
+            breaker = task.handler.breaker
+            tel.emit(RetryScheduled(
+                node=node_of(task.handler), key=key_of(task.handler.key),
+                attempt=breaker.consecutive_failures if breaker else 0,
+                delay=delay))
+        self._arm(task, self.clock.now() + delay)
 
     def unregister(self, task: PeriodicTask, wait: bool = True) -> None:
         # Virtual time is single-threaded: nothing can be in flight, so
@@ -172,6 +214,8 @@ class ThreadedScheduler(PeriodicScheduler):
     #: refresh duration; prevents a pathological compute from hanging
     #: unsubscription forever.
     unregister_wait_timeout = 10.0
+
+    mode = "threaded"
 
     def __init__(self, clock: Clock, pool_size: int = 1) -> None:
         if pool_size < 1:
@@ -315,19 +359,29 @@ class ThreadedScheduler(PeriodicScheduler):
             tel = self.telemetry
             t0 = time.monotonic() if tel is not None else 0.0
             error = False
+            rearm_delay: Optional[float] = None
             try:
                 task.handler.periodic_refresh()
-            except Exception:  # noqa: BLE001 - a failing item must not kill the pool
+            except Exception as exc:  # noqa: BLE001 - a failing item must not kill the pool
                 error = True
+                log.warning("periodic refresh of %s/%s failed: %s",
+                            node_of(task.handler), key_of(task.handler.key),
+                            exc)
                 with self._cond:
                     task.error_count += 1
             finally:
+                # Backoff/quarantine delays replace the period grid only
+                # when a failure policy asks for them (None otherwise).
+                rearm_delay = _reschedule_delay(task.handler)
                 with self._cond:
                     task._running = False
                     task._runner = None
                     if not task.cancelled and not self._stopped:
+                        next_deadline = (deadline + task.period
+                                         if rearm_delay is None
+                                         else self.clock.now() + rearm_delay)
                         heapq.heappush(
-                            self._heap, (deadline + task.period, task._seq, task)
+                            self._heap, (next_deadline, task._seq, task)
                         )
                     # Wake both idle workers (new heap entry) and
                     # unregister() callers waiting for this run to finish.
@@ -337,4 +391,12 @@ class ThreadedScheduler(PeriodicScheduler):
                                           key=key_of(task.handler.key),
                                           queue_latency=lateness,
                                           duration=time.monotonic() - t0,
-                                          error=error))
+                                          error=error, mode=self.mode))
+                if error and rearm_delay is not None:
+                    breaker = task.handler.breaker
+                    tel.emit(RetryScheduled(
+                        node=node_of(task.handler),
+                        key=key_of(task.handler.key),
+                        attempt=(breaker.consecutive_failures
+                                 if breaker else 0),
+                        delay=rearm_delay))

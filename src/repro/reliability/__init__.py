@@ -1,0 +1,24 @@
+"""Fault tolerance for the metadata refresh path.
+
+The paper's metadata layer assumes providers always answer; at production
+scale probe and compute failures are routine.  This package adds the
+reliability vocabulary the runtime weaves through handlers, scheduling and
+propagation:
+
+* :class:`~repro.reliability.policy.FailurePolicy` — per-definition retry /
+  backoff / deadline / staleness knobs, attached via
+  ``MetadataDefinition(failure_policy=...)``;
+* :class:`~repro.reliability.breaker.CircuitBreaker` — the per-handler
+  failure state machine (HEALTHY -> RETRYING -> QUARANTINED -> half-open
+  probe -> HEALTHY) that decides when an item stops burning scheduler and
+  wave time and starts serving stale-while-failing reads instead.
+
+The package deliberately imports nothing from :mod:`repro.metadata`: it is a
+leaf the handler layer builds on, so reliability semantics stay testable in
+isolation.  See docs/METADATA_GUIDE.md "Failure model" for the contract.
+"""
+
+from repro.reliability.breaker import CircuitBreaker, CircuitState
+from repro.reliability.policy import FailurePolicy
+
+__all__ = ["FailurePolicy", "CircuitBreaker", "CircuitState"]

@@ -1,0 +1,90 @@
+"""Per-definition failure policy: retries, backoff, deadlines, staleness.
+
+A :class:`FailurePolicy` is attached to a :class:`MetadataDefinition` via its
+``failure_policy`` field and interpreted by the handler's circuit breaker
+(:mod:`repro.reliability.breaker`).  All delays are expressed in the units of
+the system's injected clock (seconds for :class:`SystemClock`, virtual units
+for :class:`VirtualClock`), which keeps retry schedules fully deterministic
+under test.
+
+Jitter is deterministic too: instead of sampling a global RNG, the delay for
+attempt *n* of a given handler is perturbed by a CRC32 hash of the handler's
+salt and the attempt number.  Two runs of the same plan therefore produce the
+same retry timeline, while different handlers still de-synchronize (no
+thundering-herd re-probe after a shared dependency outage).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import MetadataError
+
+__all__ = ["FailurePolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class FailurePolicy:
+    """How a metadata item's refresh behaves when its compute fails.
+
+    :param max_retries: failed attempts tolerated before the circuit
+        quarantines the handler.  Periodic items spread these retries over
+        the backoff schedule (the retry *is* the re-arm); waves and
+        on-demand reads retry immediately because neither may sleep.
+    :param backoff_base: delay before the first retry.
+    :param backoff_factor: multiplier applied per subsequent retry.
+    :param backoff_max: upper clamp on any single backoff delay.
+    :param jitter: relative jitter amplitude in ``[0, 1)``; the delay for
+        attempt *n* is scaled by ``1 + jitter * u`` with deterministic
+        ``u in [-1, 1]`` derived from the handler salt and *n*.
+    :param attempt_deadline: wall-clock (``time.monotonic``) budget for one
+        compute attempt, or ``None`` for unbounded.  Overruns count as
+        circuit failures even when the attempt eventually produced a value
+        — slow is failing — but the produced value is still stored.
+    :param probe_interval: how long a quarantined handler rests before the
+        circuit lets one half-open probe attempt through.
+    :param stale_while_failing: when True (default), reads of a quarantined
+        or failing handler serve the last-good value flagged as stale
+        instead of raising.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 60.0
+    jitter: float = 0.1
+    attempt_deadline: float | None = None
+    probe_interval: float = 30.0
+    stale_while_failing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise MetadataError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise MetadataError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise MetadataError("backoff_factor must be >= 1")
+        if self.backoff_max < self.backoff_base:
+            raise MetadataError("backoff_max must be >= backoff_base")
+        if not 0.0 <= self.jitter < 1.0:
+            raise MetadataError("jitter must be in [0, 1)")
+        if self.attempt_deadline is not None and self.attempt_deadline <= 0:
+            raise MetadataError("attempt_deadline must be positive")
+        if self.probe_interval <= 0:
+            raise MetadataError("probe_interval must be positive")
+
+    def backoff_delay(self, attempt: int, salt: str = "") -> float:
+        """Delay before retry ``attempt`` (1-based), deterministically
+        jittered by ``salt``."""
+        if attempt < 1:
+            raise MetadataError("attempt numbers are 1-based")
+        delay = min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                    self.backoff_max)
+        if self.jitter:
+            # CRC32 of (salt, attempt) -> uniform-ish u in [-1, 1].  Never
+            # hash() (randomized per process) or a global RNG (racy).
+            word = zlib.crc32(f"{salt}#{attempt}".encode())
+            unit = word / 0xFFFFFFFF
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return max(delay, 0.0)

@@ -54,9 +54,15 @@ __all__ = [
     "WaveHop",
     "WaveRefresh",
     "WaveSuppressed",
+    "WavePoisoned",
     "WaveEnd",
     "SchedulerRefresh",
     "SchedulerCancel",
+    "HandlerFailure",
+    "RetryScheduled",
+    "CircuitOpen",
+    "CircuitHalfOpen",
+    "CircuitClose",
     "AnalysisFinding",
     "key_of",
     "node_of",
@@ -265,11 +271,34 @@ class WaveSuppressed(TraceEvent):
 
 
 @dataclass(slots=True)
+class WavePoisoned(TraceEvent):
+    """A wave member was skipped (or failed) for fault-containment reasons.
+
+    ``reason`` is one of:
+
+    * ``compute-failed`` — this handler's recompute raised; it keeps its
+      last-good value and its dependent subtree is skipped,
+    * ``poisoned-input`` — an in-wave dependency was poisoned, so
+      recomputing here would fold a half-updated input view,
+    * ``quarantined`` — the handler's circuit is open with no probe due;
+      the wave lets it rest and serves its stale value downstream.
+
+    Together with ``wave.refresh`` these events account for every planned
+    member exactly: ``planned == recomputed + skipped_poisoned``."""
+
+    kind = "wave.poisoned"
+    node: str = ""
+    key: str = ""
+    reason: str = ""
+
+
+@dataclass(slots=True)
 class WaveEnd(TraceEvent):
     kind = "wave.end"
     refreshed: int = 0
     suppressed: int = 0
     errors: int = 0
+    poisoned: int = 0
     duration: float = 0.0
 
 
@@ -285,6 +314,9 @@ class SchedulerRefresh(TraceEvent):
     queue_latency: float = 0.0
     duration: float = 0.0
     error: bool = False
+    #: which scheduler ran the tick (``virtual`` / ``threaded``) — errors
+    #: aggregate into ``scheduler_refresh_errors_total{mode=...}``.
+    mode: str = ""
 
 
 @dataclass(slots=True)
@@ -300,6 +332,67 @@ class SchedulerCancel(TraceEvent):
     key: str = ""
     in_flight: bool = False
     timed_out: bool = False
+
+
+@dataclass(slots=True)
+class HandlerFailure(TraceEvent):
+    """One failed compute attempt of a policy-governed handler.
+
+    ``consecutive`` is the breaker's failure streak after this attempt;
+    ``deadline_exceeded`` marks attempts that produced a value but overran
+    the policy's per-attempt deadline (the value is stored anyway — slow is
+    failing, not wrong)."""
+
+    kind = "handler.failure"
+    node: str = ""
+    key: str = ""
+    error: str = ""
+    consecutive: int = 0
+    deadline_exceeded: bool = False
+
+
+@dataclass(slots=True)
+class RetryScheduled(TraceEvent):
+    """A retry of a failed attempt was arranged.  ``delay`` is 0 for the
+    immediate retries of waves and on-demand reads (which may not sleep) and
+    the actual backoff interval for periodic re-arms."""
+
+    kind = "handler.retry"
+    node: str = ""
+    key: str = ""
+    attempt: int = 0
+    delay: float = 0.0
+
+
+@dataclass(slots=True)
+class CircuitOpen(TraceEvent):
+    """A handler exhausted its retry budget and was quarantined.
+    ``reopened`` marks a failed half-open probe re-arming an already-open
+    circuit (the ``circuits_open`` gauge only counts first opens)."""
+
+    kind = "circuit.open"
+    node: str = ""
+    key: str = ""
+    failures: int = 0
+    reopened: bool = False
+
+
+@dataclass(slots=True)
+class CircuitHalfOpen(TraceEvent):
+    """A quarantined handler's rest elapsed; one probe attempt begins."""
+
+    kind = "circuit.half_open"
+    node: str = ""
+    key: str = ""
+
+
+@dataclass(slots=True)
+class CircuitClose(TraceEvent):
+    """A quarantined/half-open handler recovered to HEALTHY."""
+
+    kind = "circuit.close"
+    node: str = ""
+    key: str = ""
 
 
 @dataclass(slots=True)

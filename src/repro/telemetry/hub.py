@@ -119,6 +119,8 @@ class Telemetry:
             m.counter("wave_hops_total").inc()
         elif isinstance(event, ev.WaveSuppressed):
             m.counter("wave_suppressed_total", {"reason": event.reason}).inc()
+        elif isinstance(event, ev.WavePoisoned):
+            m.counter("wave_poisoned_total", {"reason": event.reason}).inc()
         elif isinstance(event, ev.WaveStart):
             m.counter("waves_total").inc()
             m.histogram("wave_size", bounds=SIZE_BOUNDS).observe(event.wave_size)
@@ -136,6 +138,8 @@ class Telemetry:
             m.histogram("scheduler_run_duration_seconds").observe(event.duration)
             if event.error:
                 m.counter("scheduler_errors_total", {"node": event.node}).inc()
+                m.counter("scheduler_refresh_errors_total",
+                          {"mode": event.mode or "unknown"}).inc()
         elif isinstance(event, ev.SchedulerCancel):
             m.counter("scheduler_cancels_total").inc()
             if event.in_flight:
@@ -173,6 +177,23 @@ class Telemetry:
             m.gauge("probes_active").inc()
         elif isinstance(event, ev.ProbeDeactivated):
             m.gauge("probes_active").dec()
+        elif isinstance(event, ev.HandlerFailure):
+            m.counter("handler_failures_total", {"node": event.node}).inc()
+            if event.deadline_exceeded:
+                m.counter("handler_deadline_exceeded_total").inc()
+        elif isinstance(event, ev.RetryScheduled):
+            m.counter("handler_retries_total").inc()
+        elif isinstance(event, ev.CircuitOpen):
+            m.counter("circuits_opened_total").inc()
+            # A reopen (failed probe) never left the open family, so the
+            # gauge is only moved on first opens; CircuitClose decrements.
+            if not event.reopened:
+                m.gauge("circuits_open").inc()
+        elif isinstance(event, ev.CircuitHalfOpen):
+            m.counter("circuit_probes_total").inc()
+        elif isinstance(event, ev.CircuitClose):
+            m.counter("circuits_closed_total").inc()
+            m.gauge("circuits_open").dec()
         elif isinstance(event, ev.AnalysisFinding):
             m.counter(
                 "analysis_findings_total", {"code": event.code}
@@ -201,6 +222,19 @@ class Telemetry:
 # ---------------------------------------------------------------------------
 
 
+#: Counter families rolled up (across label sets) into the dashboard's
+#: health section, in display order.
+_HEALTH_COUNTERS = (
+    "handler_failures_total",
+    "handler_retries_total",
+    "handler_deadline_exceeded_total",
+    "circuits_opened_total",
+    "circuits_closed_total",
+    "wave_poisoned_total",
+    "scheduler_refresh_errors_total",
+)
+
+
 def render_dashboard(telemetry: Telemetry, width: int = 68) -> str:
     """Text dashboard over the aggregated metric series."""
     snap = telemetry.metrics.snapshot()
@@ -223,6 +257,19 @@ def render_dashboard(telemetry: Telemetry, width: int = 68) -> str:
             lines.append(f"  {exporter.name} [{state}]")
             for line in exporter.format_progress():
                 lines.append(f"    {line}")
+    health_total: dict[str, float] = {}
+    for name, value in snap["counters"].items():
+        base = name.split("{", 1)[0]
+        if base in _HEALTH_COUNTERS:
+            health_total[base] = health_total.get(base, 0) + value
+    circuits_open = snap["gauges"].get("circuits_open", 0)
+    if circuits_open or health_total:
+        lines.append("")
+        lines.append("health")
+        lines.append(f"  {'circuits open now':<50} {circuits_open:>10g}")
+        for base in _HEALTH_COUNTERS:
+            if base in health_total:
+                lines.append(f"  {base:<50} {health_total[base]:>10g}")
     if snap["counters"]:
         lines.append("")
         lines.append("counters")
@@ -290,10 +337,45 @@ def format_span(telemetry: Telemetry, span: int) -> str:
                 f"    suppressed {_ident(event.node, event.key)}"
                 f" ({event.reason})"
             )
+        elif isinstance(event, ev.WavePoisoned):
+            lines.append(
+                f"    poisoned {_ident(event.node, event.key)}"
+                f" ({event.reason}) — subtree skipped, stale value served"
+            )
         elif isinstance(event, ev.WaveEnd):
+            poisoned = (f", {event.poisoned} poisoned"
+                        if event.poisoned else "")
             lines.append(
                 f"  wave end: {event.refreshed} refreshed, "
                 f"{event.suppressed} suppressed, {event.errors} error(s)"
+                f"{poisoned}"
+            )
+        elif isinstance(event, ev.HandlerFailure):
+            deadline = " [deadline]" if event.deadline_exceeded else ""
+            lines.append(
+                f"    failure {_ident(event.node, event.key)}{deadline}: "
+                f"{event.error} (streak {event.consecutive})"
+            )
+        elif isinstance(event, ev.RetryScheduled):
+            when = ("immediately" if event.delay == 0
+                    else f"in {event.delay:g}")
+            lines.append(
+                f"    retry #{event.attempt} of {_ident(event.node, event.key)}"
+                f" {when}"
+            )
+        elif isinstance(event, ev.CircuitOpen):
+            mark = "re-opened" if event.reopened else "opened"
+            lines.append(
+                f"    circuit {mark} for {_ident(event.node, event.key)}"
+                f" after {event.failures} consecutive failure(s)"
+            )
+        elif isinstance(event, ev.CircuitHalfOpen):
+            lines.append(
+                f"    circuit half-open: probing {_ident(event.node, event.key)}"
+            )
+        elif isinstance(event, ev.CircuitClose):
+            lines.append(
+                f"    circuit closed: {_ident(event.node, event.key)} recovered"
             )
         elif isinstance(event, ev.DrainHandoff):
             lines.append(
@@ -331,14 +413,30 @@ def explain_refresh(telemetry: Telemetry, node: Any, key: Any) -> str:
     ``node`` may be a graph node or a name; ``key`` a ``MetadataKey`` or its
     string form.  Returns the full span log of the triggering wave, from the
     enqueueing change through every dependency hop to the refresh itself.
+
+    When the handler's most recent wave involvement was a *poisoning*
+    (compute failure, poisoned input, or quarantine skip) rather than a
+    refresh, the explanation leads with that failure causality instead.
     """
     node_name = str(getattr(node, "name", node))
     key_name = ev.key_of(key)
-    for event in reversed(telemetry.bus.events(kind="wave.refresh")):
-        if event.node == node_name and event.key == key_name:
-            header = (
-                f"why did {node_name}/{key_name} refresh?  "
-                f"(last refresh at t={event.ts:g})"
-            )
-            return header + "\n" + format_span(telemetry, event.span)
-    return f"no buffered wave refresh of {node_name}/{key_name}"
+    latest: ev.TraceEvent | None = None
+    for kind in ("wave.refresh", "wave.poisoned"):
+        for event in reversed(telemetry.bus.events(kind=kind)):
+            if event.node == node_name and event.key == key_name:  # type: ignore[attr-defined]
+                if latest is None or event.mono > latest.mono:
+                    latest = event
+                break
+    if latest is None:
+        return f"no buffered wave refresh of {node_name}/{key_name}"
+    if isinstance(latest, ev.WavePoisoned):
+        header = (
+            f"why is {node_name}/{key_name} stale?  "
+            f"(poisoned at t={latest.ts:g}: {latest.reason})"
+        )
+    else:
+        header = (
+            f"why did {node_name}/{key_name} refresh?  "
+            f"(last refresh at t={latest.ts:g})"
+        )
+    return header + "\n" + format_span(telemetry, latest.span)

@@ -178,7 +178,9 @@ class TestSwallowedExceptions:
         """)
         assert findings == []
 
-    def test_except_outside_lock_is_fine(self):
+    def test_except_outside_lock_is_lk005_not_lk004(self):
+        # No lock held, so LK004 stays silent — but a traceless swallow is
+        # still LK005 (see tests/analysis/test_reliability_checks.py).
         findings = lint("""
             def good(self):
                 try:
@@ -186,7 +188,7 @@ class TestSwallowedExceptions:
                 except Exception:
                     pass
         """)
-        assert findings == []
+        assert codes(findings) == ["LK005"]
 
 
 class TestSuppression:

@@ -1,0 +1,187 @@
+"""The reliability-era analysis checks: lint LK005 and verifier MD009."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lockcheck import lint_source
+from repro.analysis.plan import verify_system
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey
+from repro.metadata.monitor import RateProbe
+from repro.reliability import FailurePolicy
+
+A = MetadataKey("a")
+
+
+def lint(snippet: str):
+    return lint_source(textwrap.dedent(snippet), "fixture.py")
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestLK005:
+    def test_traceless_broad_except_flagged(self):
+        findings = lint("""
+            def swallow(self):
+                try:
+                    risky()
+                except Exception:
+                    value = None
+        """)
+        assert codes(findings) == ["LK005"]
+
+    def test_bare_except_flagged(self):
+        findings = lint("""
+            def swallow(self):
+                try:
+                    risky()
+                except:
+                    pass
+        """)
+        assert codes(findings) == ["LK005"]
+
+    def test_narrow_except_not_flagged(self):
+        findings = lint("""
+            def narrow(self):
+                try:
+                    risky()
+                except KeyError:
+                    pass
+        """)
+        assert findings == []
+
+    def test_logging_counts_as_a_trace(self):
+        findings = lint("""
+            def logged(self):
+                try:
+                    risky()
+                except Exception:
+                    log.warning("refresh of %s failed", self.key)
+        """)
+        assert findings == []
+
+    def test_reraise_counts_as_a_trace(self):
+        findings = lint("""
+            def reraised(self):
+                try:
+                    risky()
+                except Exception as exc:
+                    raise HandlerError("wrapped") from exc
+        """)
+        assert findings == []
+
+    def test_counter_increment_counts_as_a_trace(self):
+        findings = lint("""
+            def counted(self):
+                try:
+                    risky()
+                except Exception:
+                    self.error_count += 1
+        """)
+        assert findings == []
+
+    def test_error_named_assignment_counts_as_a_trace(self):
+        # The race checker's ``report.error = exc`` idiom.
+        findings = lint("""
+            def recorded(self):
+                try:
+                    risky()
+                except Exception as exc:
+                    report.error = exc
+        """)
+        assert findings == []
+
+    def test_using_the_bound_exception_counts_as_a_trace(self):
+        findings = lint("""
+            def stashed(self):
+                try:
+                    risky()
+                except Exception as exc:
+                    index.unresolved[vertex] = str(exc)
+        """)
+        assert findings == []
+
+    def test_lock_held_silent_swallow_stays_lk004(self):
+        findings = lint("""
+            def bad(self):
+                with self._mutex:
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+        """)
+        assert codes(findings) == ["LK004"]
+
+    def test_lock_held_traceless_fallback_is_lk005(self):
+        # Not *silent* (there is a statement), so LK004 stays quiet — but
+        # the error still leaves no trace, which is LK005 regardless of
+        # where it happens.
+        findings = lint("""
+            def bad(self):
+                with self._mutex:
+                    try:
+                        risky()
+                    except Exception:
+                        value = fallback
+        """)
+        assert codes(findings) == ["LK005"]
+
+    def test_suppression_comment(self):
+        findings = lint("""
+            def tolerated(self):
+                try:
+                    risky()
+                except Exception:  # analysis: ignore[LK005]
+                    pass
+        """)
+        assert findings == []
+
+
+class TestMD009:
+    def build(self, make_owner, clock, policy):
+        owner = make_owner("src")
+        probe = owner.metadata.add_probe(RateProbe("in_rate", clock))
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND,
+            compute=lambda ctx: probe.unsafe_peek_rate(),
+            monitors=("in_rate",), failure_policy=policy))
+        return owner
+
+    def test_retries_on_destructive_probe_flagged(self, make_owner, clock,
+                                                  system):
+        self.build(make_owner, clock, FailurePolicy(max_retries=2))
+        findings = [f for f in verify_system(system) if f.code == "MD009"]
+        assert len(findings) == 1
+        assert findings[0].details["probe"] == "in_rate"
+        assert findings[0].details["max_retries"] == 2
+
+    def test_zero_retries_not_flagged(self, make_owner, clock, system):
+        self.build(make_owner, clock, FailurePolicy(max_retries=0))
+        assert "MD009" not in codes(verify_system(system))
+
+    def test_no_policy_not_flagged(self, make_owner, clock, system):
+        self.build(make_owner, clock, None)
+        assert "MD009" not in codes(verify_system(system))
+
+    def test_policy_without_stateful_probe_not_flagged(self, make_owner,
+                                                       system):
+        owner = make_owner("src")
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=lambda ctx: 1,
+            failure_policy=FailurePolicy(max_retries=3)))
+        assert "MD009" not in codes(verify_system(system))
+
+    def test_periodic_with_retries_not_flagged(self, make_owner, clock,
+                                               system):
+        # Periodic retries ride the scheduler re-arm — one attempt per tick,
+        # never a double-read within one access.
+        owner = make_owner("src")
+        probe = owner.metadata.add_probe(RateProbe("in_rate", clock))
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0,
+            compute=lambda ctx: probe.unsafe_peek_rate(),
+            monitors=("in_rate",),
+            failure_policy=FailurePolicy(max_retries=2)))
+        assert "MD009" not in codes(verify_system(system))

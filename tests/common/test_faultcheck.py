@@ -1,0 +1,128 @@
+"""FaultPlan: deterministic, schedule-driven fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.faultcheck import FaultInjected, FaultPlan
+
+
+def drive(plan: FaultPlan, key: str, calls: int) -> list[bool]:
+    """Run ``calls`` checks; True marks an injected failure."""
+    outcomes = []
+    for _ in range(calls):
+        try:
+            plan.check(key)
+            outcomes.append(False)
+        except FaultInjected:
+            outcomes.append(True)
+    return outcomes
+
+
+class TestRules:
+    def test_flaky_fails_first_n_then_succeeds(self):
+        plan = FaultPlan().flaky("compute", 3)
+        assert drive(plan, "compute", 5) == [True, True, True, False, False]
+        assert plan.calls("compute") == 5
+        assert plan.failures("compute") == 3
+
+    def test_fail_on_specific_calls(self):
+        plan = FaultPlan().fail_on("compute", [2, 4])
+        assert drive(plan, "compute", 5) == [False, True, False, True, False]
+
+    def test_rules_combine(self):
+        plan = FaultPlan().flaky("k", 1).fail_on("k", [3])
+        assert drive(plan, "k", 4) == [True, False, True, False]
+
+    def test_unknown_key_passes_through(self):
+        plan = FaultPlan().flaky("other", 5)
+        plan.check("never-registered")  # no raise, no accounting
+        assert plan.calls("never-registered") == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().flaky("k", -1)
+        with pytest.raises(ValueError):
+            FaultPlan().fail_on("k", [0])
+        with pytest.raises(ValueError):
+            FaultPlan().fail_rate("k", 1.5)
+        with pytest.raises(ValueError):
+            FaultPlan().delay("k", -1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        a = FaultPlan(seed=42).fail_rate("compute", 0.3)
+        b = FaultPlan(seed=42).fail_rate("compute", 0.3)
+        assert drive(a, "compute", 200) == drive(b, "compute", 200)
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlan(seed=1).fail_rate("compute", 0.3)
+        b = FaultPlan(seed=2).fail_rate("compute", 0.3)
+        assert drive(a, "compute", 200) != drive(b, "compute", 200)
+
+    def test_per_key_streams_are_independent(self):
+        # Interleaving calls to a second key must not shift the first key's
+        # fault sequence (per-key RNG, not a shared stream).
+        solo = FaultPlan(seed=7).fail_rate("a", 0.5)
+        expected = drive(solo, "a", 100)
+        mixed = FaultPlan(seed=7).fail_rate("a", 0.5).fail_rate("b", 0.5)
+        outcomes = []
+        for _ in range(100):
+            drive(mixed, "b", 1)
+            outcomes.extend(drive(mixed, "a", 1))
+        assert outcomes == expected
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan(seed=0).fail_rate("k", 0.2)
+        failures = sum(drive(plan, "k", 1000))
+        assert 120 <= failures <= 280
+
+
+class TestActivationWindow:
+    def test_dormant_plan_neither_counts_nor_fails(self):
+        plan = FaultPlan(active=False).flaky("k", 2)
+        assert drive(plan, "k", 3) == [False, False, False]
+        assert plan.calls("k") == 0
+        plan.activate()
+        assert drive(plan, "k", 3) == [True, True, False]
+
+    def test_deactivate_stops_injection(self):
+        plan = FaultPlan().flaky("k", 10)
+        assert drive(plan, "k", 1) == [True]
+        plan.deactivate()
+        assert not plan.active
+        assert drive(plan, "k", 2) == [False, False]
+
+
+class TestWrapAndAccounting:
+    def test_wrap_consults_the_plan(self):
+        plan = FaultPlan().flaky("fn", 1)
+        wrapped = plan.wrap("fn", lambda x: x * 2)
+        with pytest.raises(FaultInjected):
+            wrapped(3)
+        assert wrapped(3) == 6
+        assert plan.calls("fn") == 2
+
+    def test_exhausted_signals_recovery_time(self):
+        plan = FaultPlan().flaky("k", 2).fail_on("k", [4])
+        assert not plan.exhausted("k")
+        drive(plan, "k", 4)
+        assert plan.exhausted("k")
+
+    def test_rate_rules_never_exhaust(self):
+        plan = FaultPlan().fail_rate("k", 0.01)
+        drive(plan, "k", 10)
+        assert not plan.exhausted("k")
+
+    def test_unknown_key_is_exhausted(self):
+        assert FaultPlan().exhausted("nothing")
+
+    def test_stats_snapshot(self):
+        plan = FaultPlan().flaky("a", 1).track("b")
+        drive(plan, "a", 2)
+        drive(plan, "b", 3)
+        assert plan.stats() == {
+            "a": {"calls": 2, "failures": 1},
+            "b": {"calls": 3, "failures": 0},
+        }

@@ -1,0 +1,334 @@
+"""Fault-tolerant refresh: retry/backoff, quarantine, stale-while-failing.
+
+Every schedule here runs on the virtual clock, so the retry timelines are
+exact — jitter is disabled (``jitter=0``) wherever the test asserts specific
+re-arm instants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import HandlerError
+from repro.common.faultcheck import FaultPlan
+from repro.metadata.introspect import describe_registry, describe_system
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.reliability import CircuitState, FailurePolicy
+
+A, B, C = MetadataKey("a"), MetadataKey("b"), MetadataKey("c")
+
+
+def counting_compute(plan: FaultPlan, key: str):
+    """Compute returning 1, 2, ... on successful calls; faults per plan."""
+    state = {"n": 0}
+
+    def compute(ctx):
+        plan.check(key)
+        state["n"] += 1
+        return state["n"]
+
+    return compute
+
+
+class TestPeriodicBackoff:
+    POLICY = FailurePolicy(max_retries=2, backoff_base=5.0,
+                           backoff_factor=2.0, jitter=0.0,
+                           probe_interval=40.0)
+
+    def build(self, make_owner, fail_calls):
+        owner = make_owner()
+        plan = FaultPlan().fail_on("a", fail_calls)
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0,
+            compute=counting_compute(plan, "a"),
+            failure_policy=self.POLICY,
+        ))
+        return owner, plan, owner.metadata.subscribe(A)
+
+    def test_retry_rearms_at_backoff_not_period(self, make_owner, clock):
+        owner, plan, sub = self.build(make_owner, fail_calls=[2, 3, 4])
+        breaker = sub.handler.breaker
+        # t=0: seed succeeded (call 1).
+        assert sub.get() == 1
+        clock.advance_by(10.0)   # t=10: call 2 fails -> RETRYING
+        assert plan.calls("a") == 2
+        assert breaker.state is CircuitState.RETRYING
+        assert sub.stale is True
+        assert sub.get() == 1    # last-good value keeps serving
+        clock.advance_by(5.0)    # t=15: backoff(1)=5 -> call 3 fails
+        assert plan.calls("a") == 3
+        clock.advance_by(10.0)   # t=25: backoff(2)=10 -> call 4 fails -> open
+        assert plan.calls("a") == 4
+        assert breaker.state is CircuitState.QUARANTINED
+        clock.advance_by(30.0)   # t=55: resting, no attempt before the probe
+        assert plan.calls("a") == 4
+        clock.advance_by(10.0)   # t=65: probe (call 5) succeeds -> close
+        assert plan.calls("a") == 5
+        assert breaker.state is CircuitState.HEALTHY
+        assert sub.stale is False
+        assert sub.get() == 2
+        clock.advance_by(10.0)   # t=75: plain period cadence resumed
+        assert plan.calls("a") == 6
+        sub.cancel()
+
+    def test_no_policy_cadence_is_untouched(self, make_owner, clock):
+        """Without a failure policy the pre-reliability pinning holds (see
+        test_failure_injection): failures never alter the period grid."""
+        owner = make_owner()
+        plan = FaultPlan().fail_on("a", [3])
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0,
+            compute=counting_compute(plan, "a"),
+        ))
+        sub = owner.metadata.subscribe(A)
+        clock.advance_by(50.0)
+        assert plan.calls("a") == 6
+        assert sub.stale is False  # always False without a policy
+        sub.cancel()
+
+    def test_telemetry_records_the_failure_causality(self, make_owner, clock,
+                                                     system):
+        tel = system.enable_telemetry()
+        owner, plan, sub = self.build(make_owner, fail_calls=[2, 3, 4])
+        clock.advance_by(65.0)  # through quarantine and the closing probe
+        assert len(tel.bus.events(kind="handler.failure")) == 3
+        opens = tel.bus.events(kind="circuit.open")
+        assert [e.reopened for e in opens] == [False]
+        assert len(tel.bus.events(kind="circuit.half_open")) == 1
+        assert len(tel.bus.events(kind="circuit.close")) == 1
+        # The scheduler emitted the backoff re-arms: 5, 10, then the rest.
+        retries = tel.bus.events(kind="handler.retry")
+        assert [e.delay for e in retries] == [5.0, 10.0, 40.0]
+        assert tel.metrics.counter("scheduler_refresh_errors_total",
+                                   {"mode": "virtual"}).value == 3
+        assert tel.metrics.gauge("circuits_open").value == 0  # balanced
+        sub.cancel()
+
+    def test_failed_probe_reopens_without_gauge_drift(self, make_owner,
+                                                      clock, system):
+        tel = system.enable_telemetry()
+        owner, plan, sub = self.build(
+            make_owner, fail_calls=[2, 3, 4, 5])  # call 5 = failed probe
+        clock.advance_by(65.0)   # probe at t=65 fails -> reopen
+        opens = tel.bus.events(kind="circuit.open")
+        assert [e.reopened for e in opens] == [False, True]
+        assert tel.metrics.gauge("circuits_open").value == 1  # not 2
+        clock.advance_by(40.0)   # t=105: second probe (call 6) closes
+        assert sub.handler.breaker.state is CircuitState.HEALTHY
+        assert tel.metrics.gauge("circuits_open").value == 0
+        sub.cancel()
+
+
+class TestOnDemandStaleWhileFailing:
+    def test_quarantined_reads_serve_last_good_value(self, make_owner, clock):
+        owner = make_owner()
+        plan = FaultPlan().fail_on("a", range(2, 100))
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=counting_compute(plan, "a"),
+            failure_policy=FailurePolicy(max_retries=1, jitter=0.0,
+                                         probe_interval=30.0),
+        ))
+        sub = owner.metadata.subscribe(A)
+        assert sub.get() == 1          # call 1 (the inclusion seed succeeded)
+        assert sub.get() == 1          # calls 2+3 fail -> quarantined, stale
+        assert plan.calls("a") == 3
+        assert sub.stale is True
+        assert sub.get() == 1          # blocked: no compute attempt at all
+        assert plan.calls("a") == 3
+        clock.advance_by(31.0)
+        assert sub.get() == 1          # probe (call 4) fails -> reopen
+        assert plan.calls("a") == 4
+        sub.cancel()
+
+    def test_probe_success_recovers_fresh_reads(self, make_owner, clock):
+        owner = make_owner()
+        plan = FaultPlan().fail_on("a", [2, 3])
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=counting_compute(plan, "a"),
+            failure_policy=FailurePolicy(max_retries=1, jitter=0.0,
+                                         probe_interval=30.0),
+        ))
+        sub = owner.metadata.subscribe(A)
+        assert sub.get() == 1
+        assert sub.get() == 1          # quarantined after calls 2+3
+        clock.advance_by(31.0)
+        assert sub.get() == 2          # probe succeeds, value is fresh again
+        assert sub.stale is False
+        sub.cancel()
+
+    def test_stale_while_failing_disabled_raises(self, make_owner, clock):
+        owner = make_owner()
+        plan = FaultPlan().fail_on("a", range(2, 100))
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=counting_compute(plan, "a"),
+            failure_policy=FailurePolicy(max_retries=0, jitter=0.0,
+                                         stale_while_failing=False),
+        ))
+        sub = owner.metadata.subscribe(A)
+        assert sub.get() == 1
+        with pytest.raises(Exception):
+            sub.get()                  # the failure surfaces to the accessor
+        with pytest.raises(HandlerError):
+            sub.get()                  # and so does the quarantine block
+        sub.cancel()
+
+
+class TestAttemptDeadline:
+    def test_overrun_keeps_the_value_but_feeds_the_breaker(self, make_owner):
+        import time as _time
+
+        owner = make_owner()
+
+        def slow(ctx):
+            _time.sleep(0.02)
+            return 7
+
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=slow,
+            failure_policy=FailurePolicy(max_retries=5, jitter=0.0,
+                                         attempt_deadline=0.001),
+        ))
+        sub = owner.metadata.subscribe(A)
+        assert sub.get() == 7          # slow is failing, not wrong
+        breaker = sub.handler.breaker
+        assert breaker.consecutive_failures >= 1
+        assert breaker.describe()["last_error"].startswith("HandlerError")
+        sub.cancel()
+
+
+class TestIntrospection:
+    def make_quarantined(self, make_owner):
+        owner = make_owner("sensor")
+        plan = FaultPlan().fail_on("a", range(2, 100))
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=counting_compute(plan, "a"),
+            failure_policy=FailurePolicy(max_retries=0, jitter=0.0),
+        ))
+        sub = owner.metadata.subscribe(A)
+        sub.get()
+        sub.get()  # fails -> quarantined, serving stale
+        return owner, sub
+
+    def test_describe_registry_reports_health(self, make_owner):
+        owner, sub = self.make_quarantined(make_owner)
+        entry = [item for item in describe_registry(owner.metadata)["items"]
+                 if item["key"] == "a"][0]
+        assert entry["stale"] is True
+        assert entry["health"]["state"] == "quarantined"
+        sub.cancel()
+
+    def test_describe_system_surfaces_the_working_set(self, make_owner,
+                                                      system):
+        owner, sub = self.make_quarantined(make_owner)
+        health = describe_system(system)["health"]
+        assert health["unhealthy"] == 1
+        assert health["quarantined"] == 1
+        item = health["items"][0]
+        assert (item["node"], item["key"]) == ("sensor", "a")
+        assert item["stale"] is True
+        sub.cancel()
+
+    def test_healthy_handlers_stay_out_of_the_health_view(self, make_owner,
+                                                          system):
+        owner = make_owner()
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.ON_DEMAND, compute=lambda ctx: 1,
+            failure_policy=FailurePolicy(),
+        ))
+        sub = owner.metadata.subscribe(A)
+        health = describe_system(system)["health"]
+        assert health == {"unhealthy": 0, "quarantined": 0, "items": []}
+        sub.cancel()
+
+
+class TestStaticRejectsPolicy:
+    def test_static_definition_with_policy_is_invalid(self):
+        from repro.common.errors import MetadataError
+        with pytest.raises(MetadataError):
+            MetadataDefinition(A, Mechanism.STATIC, value=1,
+                               failure_policy=FailurePolicy())
+
+
+class TestAcceptanceScenario:
+    """ISSUE 8 acceptance: a 500-handler plan with >= 10% of computes
+    failing must keep every failure contained — no exception escapes the
+    scheduler or a wave, quarantined handlers serve stale values, the
+    wave accounting invariant holds exactly, and recovery is observable."""
+
+    SOURCES = 50
+    CHAIN = 9  # 50 periodic sources * (1 + 9 triggered) = 500 handlers
+
+    def build(self, make_owner, plan):
+        owner = make_owner("fleet")
+        policy = FailurePolicy(max_retries=1, backoff_base=1.0,
+                               jitter=0.0, probe_interval=25.0)
+        subs = []
+        for s in range(self.SOURCES):
+            src = MetadataKey(f"src{s}")
+            owner.metadata.define(MetadataDefinition(
+                src, Mechanism.PERIODIC, period=10.0,
+                compute=counting_compute(plan, f"src{s}"),
+                failure_policy=policy,
+            ))
+            subs.append(owner.metadata.subscribe(src))
+            prev = src
+            for d in range(self.CHAIN):
+                key = MetadataKey(f"src{s}.d{d}")
+                name = f"src{s}.d{d}"
+
+                def compute(ctx, dep=prev, fault_key=name):
+                    plan.check(fault_key)
+                    return ctx.value(dep) + 1
+
+                owner.metadata.define(MetadataDefinition(
+                    key, Mechanism.TRIGGERED, compute=compute,
+                    dependencies=[SelfDep(prev)], failure_policy=policy,
+                ))
+                subs.append(owner.metadata.subscribe(key))
+                prev = key
+        return owner, subs
+
+    def test_chaos_then_recovery(self, make_owner, clock, system):
+        # Dormant plan: inclusion/seeding stays fault-free, so every handler
+        # starts with a last-good value.
+        plan = FaultPlan(seed=2024, active=False)
+        for s in range(self.SOURCES):
+            plan.fail_rate(f"src{s}", 0.15)
+            for d in range(self.CHAIN):
+                plan.fail_rate(f"src{s}.d{d}", 0.15)
+        owner, subs = self.build(make_owner, plan)
+        engine = system.propagation
+
+        plan.activate()
+        clock.advance_by(100.0)  # chaos window: no exception may escape
+
+        stats = plan.stats()
+        calls = sum(v["calls"] for v in stats.values())
+        failures = sum(v["failures"] for v in stats.values())
+        assert failures >= 0.10 * calls  # the chaos was real
+
+        wave = engine.stats()
+        assert wave["planned"] == wave["refreshes"] + wave["skipped_poisoned"]
+        assert wave["skipped_poisoned"] > 0  # containment actually happened
+
+        # Quarantined handlers serve their last-good value, flagged stale.
+        health = describe_system(system)["health"]
+        quarantined = [item for item in health["items"]
+                       if item["state"] == "quarantined"]
+        assert quarantined, "15% fail rate must quarantine something"
+        for item in quarantined:
+            assert item["stale"] is True
+        for sub in subs:
+            sub.get()  # never raises: fresh or stale-last-good
+
+        # Recovery: stop injecting and let probes close every circuit.
+        plan.deactivate()
+        clock.advance_by(200.0)
+        health = describe_system(system)["health"]
+        assert health["unhealthy"] == 0
+        wave = engine.stats()
+        assert wave["planned"] == wave["refreshes"] + wave["skipped_poisoned"]
+        for sub in subs:
+            assert sub.stale is False
+        for sub in subs:
+            sub.cancel()

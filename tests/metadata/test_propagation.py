@@ -178,6 +178,7 @@ class _FakeHandler:
     def __init__(self, name, reacts=True):
         self.name = name
         self.removed = False
+        self.breaker = None
         self.reacts = reacts
         self.reaction_calls = 0
         self.recomputes = 0

@@ -1,0 +1,324 @@
+"""Wave-level fault containment and its exact accounting invariant.
+
+Every member a wave intends to recompute is *planned*; it then either
+recomputes (``refreshes``) or is skipped because its subtree is poisoned
+(``skipped_poisoned``).  The conservation law
+
+    planned == refreshes + skipped_poisoned
+
+is exact — pinned here over hand-built diamonds, seeded random DAGs across
+all four execution paths (cached/uncached x traced/untraced), and a
+threaded chaos run mixing injected faults with subscription churn.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.common.clock import SystemClock, VirtualClock
+from repro.common.errors import HandlerError
+from repro.common.faultcheck import FaultPlan
+from repro.common.racecheck import RaceCheck
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, SelfDep
+from repro.metadata.locks import FineGrainedLockPolicy
+from repro.metadata.propagation import PropagationEngine
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import ThreadedScheduler, VirtualTimeScheduler
+from repro.reliability import FailurePolicy
+from repro.telemetry.hub import explain_refresh
+
+A = MetadataKey("a")
+B = MetadataKey("b")
+C = MetadataKey("c")
+D = MetadataKey("d")
+
+
+def assert_invariant(engine: PropagationEngine) -> dict:
+    stats = engine.stats()
+    assert stats["planned"] == stats["refreshes"] + stats["skipped_poisoned"]
+    return stats
+
+
+class TestDiamondContainment:
+    """A -> (B, C) -> D with B failing: C refreshes, D is skipped."""
+
+    def build(self, make_owner, plan):
+        owner = make_owner("node")
+        state = {"a": 0}
+
+        def src(ctx):
+            state["a"] += 1
+            return state["a"]
+
+        owner.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0, compute=src))
+        owner.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, dependencies=[SelfDep(A)],
+            compute=plan.wrap("b", lambda ctx: ctx.value(A) * 10)))
+        owner.metadata.define(MetadataDefinition(
+            C, Mechanism.TRIGGERED, dependencies=[SelfDep(A)],
+            compute=plan.wrap("c", lambda ctx: ctx.value(A) * 100)))
+        owner.metadata.define(MetadataDefinition(
+            D, Mechanism.TRIGGERED, dependencies=[SelfDep(B), SelfDep(C)],
+            compute=plan.wrap("d", lambda ctx: ctx.value(B) + ctx.value(C))))
+        return owner, [owner.metadata.subscribe(k) for k in (B, C, D)]
+
+    def test_failed_member_poisons_exactly_its_subtree(self, make_owner,
+                                                       clock, system):
+        plan = FaultPlan().fail_on("b", [2])  # call 1 = seed, call 2 = wave
+        owner, subs = self.build(make_owner, plan)
+        sb, sc, sd = subs
+        clock.advance_by(10.0)  # A: 1 -> 2; B's recompute fails in the wave
+        assert sb.get() == 10       # last-good value (from the seed)
+        assert sc.get() == 200      # sibling refreshed normally
+        assert sd.get() == 110      # skipped: inputs were half-updated
+        stats = assert_invariant(system.propagation)
+        assert stats["skipped_poisoned"] == 1  # exactly D
+        assert stats["errors"] == 1
+        # Poisoning is engine-level: no FailurePolicy was attached anywhere.
+        assert sb.handler.breaker is None
+        clock.advance_by(10.0)  # A: 2 -> 3; everything recovers
+        assert sd.get() == 330
+        assert_invariant(system.propagation)
+        for sub in subs:
+            sub.cancel()
+
+    def test_traced_wave_emits_poisoning_causality(self, make_owner, clock,
+                                                   system):
+        tel = system.enable_telemetry()
+        plan = FaultPlan().fail_on("b", [2])
+        owner, subs = self.build(make_owner, plan)
+        clock.advance_by(10.0)
+        events = tel.bus.events(kind="wave.poisoned")
+        assert [(e.key, e.reason) for e in events] == \
+            [("b", "compute-failed"), ("d", "poisoned-input")]
+        end = tel.bus.events(kind="wave.end")[-1]
+        assert end.poisoned == 2
+        assert tel.metrics.counter("wave_poisoned_total",
+                                   {"reason": "compute-failed"}).value == 1
+        assert_invariant(system.propagation)
+        for sub in subs:
+            sub.cancel()
+
+    def test_explain_refresh_names_the_poison(self, make_owner, clock,
+                                              system):
+        tel = system.enable_telemetry()
+        plan = FaultPlan().fail_on("b", [2])
+        owner, subs = self.build(make_owner, plan)
+        clock.advance_by(10.0)
+        explanation = explain_refresh(tel, "node", D)
+        assert "stale" in explanation and "poisoned-input" in explanation
+        for sub in subs:
+            sub.cancel()
+
+    def test_quarantined_member_is_skipped_not_recomputed(self, make_owner,
+                                                          clock, system):
+        tel = system.enable_telemetry()
+        plan = FaultPlan().fail_on("b", range(2, 100))
+        owner, subs = self.build(make_owner, plan)
+        sb, sc, sd = subs
+        policy_plan_calls = plan.calls("b")
+        # No policy on B: the first failing wave poisons via compute-failed.
+        # Attach quarantine behaviour by rebuilding with a policy instead.
+        for sub in subs:
+            sub.cancel()
+        owner2 = make_owner("node2")
+        state = {"a": 0}
+
+        def src(ctx):
+            state["a"] += 1
+            return state["a"]
+
+        policy = FailurePolicy(max_retries=0, jitter=0.0, probe_interval=100.0)
+        owner2.metadata.define(MetadataDefinition(
+            A, Mechanism.PERIODIC, period=10.0, compute=src))
+        owner2.metadata.define(MetadataDefinition(
+            B, Mechanism.TRIGGERED, dependencies=[SelfDep(A)],
+            compute=plan.wrap("b2", lambda ctx: ctx.value(A) * 10),
+            failure_policy=policy))
+        owner2.metadata.define(MetadataDefinition(
+            D, Mechanism.TRIGGERED, dependencies=[SelfDep(B)],
+            compute=lambda ctx: ctx.value(B) + 1))
+        plan.fail_on("b2", range(2, 100))
+        sb = owner2.metadata.subscribe(B)
+        sd = owner2.metadata.subscribe(D)
+        clock.advance_by(10.0)  # wave 1: B fails -> quarantined, D poisoned
+        calls_after_first = plan.calls("b2")
+        clock.advance_by(10.0)  # wave 2: B rests — no compute attempt at all
+        assert plan.calls("b2") == calls_after_first
+        reasons = [e.reason for e in tel.bus.events(kind="wave.poisoned")]
+        assert "quarantined" in reasons
+        assert sb.stale is True
+        assert sd.get() == 11  # built from B's stale last-good value
+        assert_invariant(system.propagation)
+        sb.cancel()
+        sd.cancel()
+
+
+def build_random_dag(system, rng: random.Random, plan: FaultPlan,
+                     nodes: int = 30):
+    """Seeded random DAG: one periodic source, ``nodes`` triggered items."""
+
+    class Owner:
+        name = "dag"
+        upstream_nodes: list = []
+        downstream_nodes: list = []
+
+    owner = Owner()
+    registry = MetadataRegistry(owner, system)
+    state = {"tick": 0}
+
+    def src(ctx):
+        state["tick"] += 1
+        return state["tick"]
+
+    source = MetadataKey("src")
+    registry.define(MetadataDefinition(
+        source, Mechanism.PERIODIC, period=10.0, compute=src))
+    keys = [source]
+    for i in range(nodes):
+        key = MetadataKey(f"n{i}")
+        deps = rng.sample(keys, k=min(len(keys), rng.randint(1, 3)))
+
+        def compute(ctx, deps=tuple(deps), fault_key=f"n{i}"):
+            plan.check(fault_key)
+            return sum(ctx.value(d) for d in deps) + 1
+
+        policy = None
+        if rng.random() < 0.5:
+            policy = FailurePolicy(max_retries=0, jitter=0.0,
+                                   probe_interval=35.0)
+        registry.define(MetadataDefinition(
+            key, Mechanism.TRIGGERED, compute=compute,
+            dependencies=[SelfDep(d) for d in deps], failure_policy=policy))
+        keys.append(key)
+    subs = [registry.subscribe(k) for k in keys[1:]]
+    return registry.subscribe(source), subs
+
+
+class TestRandomDagProperty:
+    """Seeded property test: the invariant holds on every execution path."""
+
+    VARIANTS = {
+        "cached-untraced": (True, False),
+        "cached-traced": (True, True),
+        "uncached-untraced": (False, False),
+        "uncached-traced": (False, True),
+    }
+
+    def run_variant(self, seed: int, plan_cache: bool, traced: bool) -> dict:
+        clock = VirtualClock()
+        system = MetadataSystem(
+            clock, VirtualTimeScheduler(clock),
+            propagation=PropagationEngine(plan_cache=plan_cache))
+        if traced:
+            system.enable_telemetry(capacity=65536)
+        plan = FaultPlan(seed=seed, active=False)
+        rng = random.Random(seed)
+        for i in range(30):
+            plan.fail_rate(f"n{i}", 0.2)
+        anchor, subs = build_random_dag(system, rng, plan)
+        plan.activate()
+        clock.advance_by(120.0)
+        stats = assert_invariant(system.propagation)
+        for sub in subs:
+            sub.cancel()
+        anchor.cancel()
+        return {k: stats[k] for k in
+                ("waves", "planned", "refreshes", "skipped_poisoned",
+                 "suppressed", "errors")}
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 2024])
+    def test_invariant_and_path_equivalence(self, seed):
+        results = {name: self.run_variant(seed, *flags)
+                   for name, flags in self.VARIANTS.items()}
+        baseline = results["cached-untraced"]
+        assert baseline["planned"] > 0
+        for name, stats in results.items():
+            assert stats == baseline, (
+                f"{name} diverged from cached-untraced for seed {seed}")
+
+
+@pytest.mark.stress
+@pytest.mark.chaos
+class TestPoisoningUnderChurnStress:
+    """RaceCheck: injected compute faults + concurrent include/exclude.
+
+    The invariant must hold under a threaded scheduler with subscription
+    churn racing the waves — the accounting is engine-global, so lost or
+    double-counted members would break the equality immediately.
+    """
+
+    def test_invariant_survives_chaos(self):
+        clock = SystemClock()
+        scheduler = ThreadedScheduler(clock, pool_size=2)
+        system = MetadataSystem(clock, scheduler,
+                                lock_policy=FineGrainedLockPolicy())
+
+        class Owner:
+            name = "chaos"
+            upstream_nodes: list = []
+            downstream_nodes: list = []
+
+        registry = MetadataRegistry(Owner(), system)
+        plan = FaultPlan(seed=99)
+        state = {"n": 0}
+        state_lock = threading.Lock()
+
+        def bump(ctx):
+            with state_lock:
+                state["n"] += 1
+                return state["n"]
+
+        SRC, MID, TOP, CHURN = (MetadataKey("src"), MetadataKey("mid"),
+                                MetadataKey("top"), MetadataKey("churn"))
+        policy = FailurePolicy(max_retries=1, jitter=0.0, probe_interval=0.01)
+        registry.define(MetadataDefinition(
+            SRC, Mechanism.ON_DEMAND, compute=bump))
+        registry.define(MetadataDefinition(
+            MID, Mechanism.TRIGGERED, dependencies=[SelfDep(SRC)],
+            compute=plan.wrap("mid", lambda ctx: ctx.value(SRC)),
+            failure_policy=policy))
+        registry.define(MetadataDefinition(
+            TOP, Mechanism.TRIGGERED, dependencies=[SelfDep(MID)],
+            compute=lambda ctx: ctx.value(MID) + 1))
+        registry.define(MetadataDefinition(
+            CHURN, Mechanism.TRIGGERED, dependencies=[SelfDep(SRC)],
+            compute=plan.wrap("churn", lambda ctx: ctx.value(SRC)),
+            failure_policy=policy))
+        plan.fail_rate("mid", 0.2)
+        plan.fail_rate("churn", 0.2)
+
+        def notify(worker, i):
+            registry.notify_changed(SRC)
+
+        def churn(worker, i):
+            try:
+                sub = registry.subscribe(CHURN)
+            except HandlerError:
+                return  # the inclusion seed hit an injected fault
+            try:
+                sub.get()
+            finally:
+                sub.cancel()
+
+        def read(worker, i):
+            anchor_top.get()
+
+        with scheduler:
+            anchor_top = registry.subscribe(TOP)
+            check = RaceCheck(iterations=150, timeout=60.0,
+                              name="poisoning-churn")
+            check.add(notify, threads=2)
+            check.add(churn, threads=2)
+            check.add(read, threads=2)
+            check.run()
+            anchor_top.cancel()
+
+        stats = assert_invariant(system.propagation)
+        assert stats["pending"] == 0
+        assert system.stats()["handlers_included"] == 0
+        assert plan.failures("mid") + plan.failures("churn") > 0

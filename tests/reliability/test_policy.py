@@ -1,0 +1,72 @@
+"""FailurePolicy: validation and the deterministic backoff schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import MetadataError
+from repro.reliability import FailurePolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = FailurePolicy()
+        assert policy.max_retries == 3
+        assert policy.stale_while_failing is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"backoff_base": -0.1},
+        {"backoff_factor": 0.5},
+        {"backoff_base": 10.0, "backoff_max": 5.0},
+        {"jitter": -0.1},
+        {"jitter": 1.0},
+        {"attempt_deadline": 0.0},
+        {"attempt_deadline": -1.0},
+        {"probe_interval": 0.0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(MetadataError):
+            FailurePolicy(**kwargs)
+
+    def test_frozen(self):
+        policy = FailurePolicy()
+        with pytest.raises(AttributeError):
+            policy.max_retries = 5  # type: ignore[misc]
+
+
+class TestBackoffDelay:
+    def test_exponential_growth_without_jitter(self):
+        policy = FailurePolicy(backoff_base=1.0, backoff_factor=2.0,
+                               backoff_max=60.0, jitter=0.0)
+        assert [policy.backoff_delay(n) for n in (1, 2, 3, 4)] == \
+            [1.0, 2.0, 4.0, 8.0]
+
+    def test_clamped_at_backoff_max(self):
+        policy = FailurePolicy(backoff_base=1.0, backoff_factor=10.0,
+                               backoff_max=25.0, jitter=0.0)
+        assert policy.backoff_delay(3) == 25.0
+        assert policy.backoff_delay(10) == 25.0
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(MetadataError):
+            FailurePolicy().backoff_delay(0)
+
+    def test_jitter_is_deterministic_per_salt_and_attempt(self):
+        policy = FailurePolicy(backoff_base=10.0, jitter=0.5)
+        a = policy.backoff_delay(1, salt="node/key")
+        b = policy.backoff_delay(1, salt="node/key")
+        assert a == b  # no global RNG involved
+
+    def test_jitter_desynchronizes_salts(self):
+        policy = FailurePolicy(backoff_base=10.0, jitter=0.5)
+        delays = {policy.backoff_delay(1, salt=f"node/k{i}")
+                  for i in range(8)}
+        assert len(delays) > 1  # no thundering-herd retry alignment
+
+    def test_jitter_bounded_by_amplitude(self):
+        policy = FailurePolicy(backoff_base=10.0, backoff_factor=1.0,
+                               jitter=0.2)
+        for attempt in range(1, 20):
+            delay = policy.backoff_delay(attempt, salt="s")
+            assert 8.0 <= delay <= 12.0

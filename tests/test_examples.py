@@ -61,6 +61,16 @@ class TestExamples:
         assert "MIGRATE join" in out
         assert "recommendations issued: 2" in out
 
+    def test_fault_tolerance(self, capsys):
+        out = run_example("fault_tolerance", capsys)
+        assert "fault-tolerant refresh walkthrough" in out
+        assert "circuit=quarantined" in out
+        assert "probe/net.rtt: quarantined, stale=True" in out
+        assert "circuit=healthy" in out
+        assert "skipped_poisoned=1" in out
+        assert "why is probe/net.total_cost stale?" in out
+        assert "telemetry dashboard" in out
+
     def test_metadata_explorer(self, capsys):
         out = run_example("metadata_explorer", capsys)
         assert "working set after two subscriptions" in out
