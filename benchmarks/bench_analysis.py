@@ -9,7 +9,12 @@ latency.  This benchmark times
   periodic measurement, a triggered estimate depending on the previous
   node's estimate, and an on-demand reader), and
 * :func:`repro.analysis.lockcheck.lint_paths` over the shipped runtime
-  (``src/repro``), the same corpus the CI self-lint walks.
+  (``src/repro``), the same corpus the CI self-lint walks,
+* :func:`repro.analysis.callgraph.build_call_graph` + its fixpoint findings
+  over the same corpus (the interprocedural deadlock pass), and
+* :func:`repro.analysis.lockgraph.analyze_payload` cycle detection over
+  synthetic lock-order graphs of growing size (a ring of N locks plus one
+  order-reversing edge, the worst case for SCC extraction).
 
 Usage::
 
@@ -30,7 +35,9 @@ import sys
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.callgraph import build_call_graph
 from repro.analysis.lockcheck import lint_paths
+from repro.analysis.lockgraph import analyze_payload
 from repro.analysis.plan import build_index, verify_system
 from repro.common.clock import VirtualClock
 from repro.metadata.item import (
@@ -82,6 +89,37 @@ def build_chain(nodes: int) -> MetadataSystem:
     return system
 
 
+def build_ring_payload(locks: int) -> dict:
+    """A recorder payload whose order graph is a ring of ``locks`` nodes.
+
+    Edge i→i+1 for every lock plus the wrap-around edge back to 0, so the
+    whole graph is one strongly connected component — the most expensive
+    shape for cycle extraction at a given node count.
+    """
+    lock_rows = [
+        {"serial": i, "name": f"item:k{i}", "level": "item"}
+        for i in range(locks)
+    ]
+    stack = [{"file": "bench.py", "line": 1, "function": "bench"}]
+    edges = [
+        {
+            "src": i, "dst": (i + 1) % locks, "count": 1,
+            "threads": [f"T{i % 2}"],
+            "src_mode": "write", "dst_mode": "write",
+            "src_stack": stack, "dst_stack": stack,
+        }
+        for i in range(locks)
+    ]
+    return {
+        "version": 1,
+        "acquisitions": 2 * locks,
+        "locks": lock_rows,
+        "edges": edges,
+        "inversions": [],
+        "blocking": [],
+    }
+
+
 def best_of(fn, rounds: int = 5) -> float:
     timings = []
     for _ in range(rounds):
@@ -95,6 +133,10 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, nargs="+",
                         default=[50, 200, 500])
+    parser.add_argument("--lock-ring", type=int, nargs="+",
+                        default=[100, 1000, 5000],
+                        help="lock counts for the synthetic cycle-detection "
+                             "payloads (default: %(default)s)")
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args()
@@ -126,6 +168,38 @@ def main() -> int:
     print(f"\nlock lint over src/repro: {lint_s * 1e3:.1f} ms "
           f"({n_files} files, {lint_s / n_files * 1e3:.2f} ms/file)")
     report["lint"] = {"seconds": lint_s, "files": n_files}
+
+    build_s = best_of(lambda: build_call_graph([str(SRC_REPRO)]), args.rounds)
+    graph = build_call_graph([str(SRC_REPRO)])
+    findings_s = best_of(graph.findings, args.rounds)
+    inter_findings = graph.findings()
+    print(f"interprocedural pass over src/repro: build {build_s * 1e3:.1f} ms "
+          f"({len(graph.functions)} functions), "
+          f"fixpoint+findings {findings_s * 1e3:.2f} ms, "
+          f"{len(inter_findings)} findings")
+    report["interprocedural"] = {
+        "build_seconds": build_s,
+        "findings_seconds": findings_s,
+        "functions": len(graph.functions),
+        "findings": len(inter_findings),
+    }
+
+    report["lockgraph"] = []
+    print(f"\n{'locks':>6} {'edges':>7} {'cycle detect (ms)':>18} "
+          f"{'findings':>9}")
+    for locks in args.lock_ring:
+        payload = build_ring_payload(locks)
+        cycle_s = best_of(lambda: analyze_payload(payload), args.rounds)
+        cycle_findings = analyze_payload(payload)
+        print(f"{locks:>6} {len(payload['edges']):>7} "
+              f"{cycle_s * 1e3:>18.2f} {len(cycle_findings):>9}")
+        if not any(f.code == "LD001" for f in cycle_findings):
+            raise SystemExit(
+                f"ring payload with {locks} locks must raise LD001")
+        report["lockgraph"].append({
+            "locks": locks, "edges": len(payload["edges"]),
+            "analyze_seconds": cycle_s, "findings": len(cycle_findings),
+        })
 
     if args.output:
         args.output.write_text(json.dumps(report, indent=2) + "\n")

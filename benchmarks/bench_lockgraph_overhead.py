@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Lock-observer overhead gate — the disabled hook must cost (almost) nothing.
+
+The deadlock sanitizer (``repro.analysis.lockgraph``) watches every
+``ReentrantRWLock`` acquisition through a process-wide observer hook.  The
+promise — same discipline as the telemetry hooks — is that while **no**
+observer is installed (the shipped default) each hook site reduces to a
+single ``observer is None`` check.  This benchmark enforces that promise in
+CI by timing uncontended read/write lock-unlock pairs through three locks:
+
+* ``nohooks``   — a subclass whose acquire/release methods are verbatim
+  copies of the pre-observer bodies (no hook code exists at all): the true
+  baseline;
+* ``disabled``  — the stock :class:`ReentrantRWLock` with no observer
+  installed (the shipped default); and
+* ``recording`` — the stock lock with a live
+  :class:`~repro.analysis.lockgraph.LockOrderRecorder` (stack capture off),
+  for context (not gated: recording legitimately costs time).
+
+Rounds are interleaved so clock drift and cache warmth hit all three
+equally; each configuration is scored by its best round.
+
+Usage::
+
+    python benchmarks/bench_lockgraph_overhead.py --check \
+        --output BENCH_lockgraph.json
+
+``--check`` exits non-zero when the disabled-vs-nohooks overhead exceeds
+the gate (default 3%).  The JSON report is uploaded as a CI artifact.
+
+The module is a standalone script on purpose — it is not collected by the
+tier-1 pytest run (``testpaths = ["tests"]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.lockgraph import LockOrderRecorder
+from repro.common.errors import LockUpgradeError
+from repro.common.rwlock import ReentrantRWLock
+
+READ_PAIRS_PER_ROUND = 120_000
+WRITE_PAIRS_PER_ROUND = 12_000
+ROUNDS = 5
+DEFAULT_THRESHOLD_PCT = 3.0
+
+
+class NoHooksLock(ReentrantRWLock):
+    """The pre-observer lock, byte-for-byte.
+
+    The four acquire/release methods are the exact bodies the lock had
+    before the observer hook landed (no ``observer`` loads, no callback
+    plumbing), so timing it answers "what would locking cost if the hook
+    code did not exist?".
+    """
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        ident = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            state = self._state(ident)
+            if state.write_count > 0 or state.read_count > 0:
+                state.read_count += 1
+                self.stats.read_acquired += 1
+                return True
+            contended = False
+            while self._writer is not None or self._waiting_writers > 0:
+                contended = True
+                if not self._wait_until(deadline):
+                    self._discard_if_idle(ident)
+                    return False
+            state.read_count = 1
+            self._active_readers += 1
+            self.stats.read_acquired += 1
+            if contended:
+                self.stats.read_contended += 1
+            return True
+
+    def release_read(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            state = self._threads.get(ident)
+            if state is None or state.read_count == 0:
+                raise RuntimeError(
+                    f"thread does not hold read lock {self.name!r}")
+            state.read_count -= 1
+            if state.read_count == 0 and state.write_count == 0:
+                self._active_readers -= 1
+                self._discard_if_idle(ident)
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        ident = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            state = self._state(ident)
+            if state.write_count > 0:
+                state.write_count += 1
+                self.stats.write_acquired += 1
+                return True
+            if state.read_count > 0:
+                self._discard_if_idle(ident)
+                raise LockUpgradeError(
+                    f"thread holds read lock {self.name!r} and requested the "
+                    "write lock; release the read lock first"
+                )
+            self._waiting_writers += 1
+            contended = False
+            try:
+                while self._writer is not None or self._active_readers > 0:
+                    contended = True
+                    if not self._wait_until(deadline):
+                        return False
+                self._writer = ident
+                state.write_count = 1
+                self.stats.write_acquired += 1
+                if contended:
+                    self.stats.write_contended += 1
+                return True
+            finally:
+                self._waiting_writers -= 1
+                self._discard_if_idle(ident)
+
+    def release_write(self) -> None:
+        ident = threading.get_ident()
+        with self._cond:
+            state = self._threads.get(ident)
+            if state is None or state.write_count == 0 or self._writer != ident:
+                raise RuntimeError(
+                    f"thread does not hold write lock {self.name!r}")
+            state.write_count -= 1
+            if state.write_count == 0:
+                if state.read_count > 0:
+                    self._writer = None
+                    self._active_readers += 1
+                else:
+                    self._writer = None
+                    self._discard_if_idle(ident)
+                self._cond.notify_all()
+
+
+def run_round(lock: ReentrantRWLock, read_pairs: int, write_pairs: int) -> float:
+    """Time uncontended read and write lock/unlock pairs; returns seconds."""
+    acquire_read = lock.acquire_read
+    release_read = lock.release_read
+    acquire_write = lock.acquire_write
+    release_write = lock.release_write
+    t0 = time.perf_counter()
+    for _ in range(read_pairs):
+        acquire_read()
+        release_read()
+    for _ in range(write_pairs):
+        acquire_write()
+        release_write()
+    return time.perf_counter() - t0
+
+
+def measure(threshold_pct: float) -> dict:
+    locks = {
+        "nohooks": NoHooksLock("bench:nohooks"),
+        "disabled": ReentrantRWLock("bench:disabled"),
+        "recording": ReentrantRWLock("bench:recording"),
+    }
+    recorder = LockOrderRecorder(capture_stacks=False)
+
+    # Warmup: a short burst per lock so caches are hot before timing.
+    for lock in locks.values():
+        run_round(lock, 2000, 200)
+
+    timings: dict[str, list[float]] = {name: [] for name in locks}
+    for _ in range(ROUNDS):
+        for name, lock in locks.items():
+            if name == "recording":
+                with recorder.session(instrument_blocking=False):
+                    seconds = run_round(
+                        lock, READ_PAIRS_PER_ROUND, WRITE_PAIRS_PER_ROUND)
+            else:
+                seconds = run_round(
+                    lock, READ_PAIRS_PER_ROUND, WRITE_PAIRS_PER_ROUND)
+            timings[name].append(seconds)
+
+    best = {name: min(rounds) for name, rounds in timings.items()}
+    overhead_disabled_pct = (
+        100.0 * (best["disabled"] - best["nohooks"]) / best["nohooks"])
+    overhead_recording_pct = (
+        100.0 * (best["recording"] - best["nohooks"]) / best["nohooks"])
+
+    pairs = READ_PAIRS_PER_ROUND + WRITE_PAIRS_PER_ROUND
+    # Sanity: every lock did identical acquisition work per round.
+    counts = {
+        name: lock.stats.read_acquired + lock.stats.write_acquired
+        for name, lock in locks.items()
+    }
+    consistent = len(set(counts.values())) == 1
+
+    return {
+        "benchmark": "lockgraph_overhead",
+        "read_pairs_per_round": READ_PAIRS_PER_ROUND,
+        "write_pairs_per_round": WRITE_PAIRS_PER_ROUND,
+        "rounds": ROUNDS,
+        "threshold_pct": threshold_pct,
+        "seconds_best": best,
+        "seconds_all_rounds": timings,
+        "pairs_per_second_best": {
+            name: pairs / seconds for name, seconds in best.items()
+        },
+        "overhead_disabled_pct": overhead_disabled_pct,
+        "overhead_recording_pct": overhead_recording_pct,
+        "recorded_acquisitions": recorder.acquisitions,
+        "work_consistent": consistent,
+        "passed": consistent and overhead_disabled_pct <= threshold_pct,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_lockgraph.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the disabled-observer "
+                             "overhead exceeds the threshold")
+    parser.add_argument("--threshold-pct", type=float,
+                        default=DEFAULT_THRESHOLD_PCT,
+                        help="maximum tolerated disabled-hook overhead "
+                             "(percent, default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    result = measure(args.threshold_pct)
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"lock-observer overhead benchmark "
+          f"({READ_PAIRS_PER_ROUND} read + {WRITE_PAIRS_PER_ROUND} write "
+          f"pairs/round, best of {ROUNDS})")
+    for name in ("nohooks", "disabled", "recording"):
+        print(f"  {name:<10} {result['seconds_best'][name] * 1e3:8.2f} ms  "
+              f"({result['pairs_per_second_best'][name]:,.0f} pairs/s)")
+    print(f"  disabled-hook overhead: {result['overhead_disabled_pct']:+.2f}% "
+          f"(gate: {args.threshold_pct:.1f}%)")
+    print(f"  recording overhead: {result['overhead_recording_pct']:+.2f}% "
+          f"(informational; {result['recorded_acquisitions']} acquisitions "
+          f"recorded)")
+    print(f"  report: {args.output}")
+
+    if args.check and not result["passed"]:
+        reason = ("locks disagreed on acquisition work"
+                  if not result["work_consistent"]
+                  else "disabled-observer overhead exceeds the gate")
+        print(f"FAIL: {reason}", file=sys.stderr)
+        return 1
+    print("PASS" if result["passed"] else "(informational run, no --check)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

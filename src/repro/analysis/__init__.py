@@ -10,9 +10,18 @@ Two analyzer families behind one findings pipeline:
 * :mod:`repro.analysis.lockcheck` — the **lock-discipline lint**: a stdlib
   ``ast`` pass that knows the graph -> node -> item lock hierarchy and flags
   inversions, blocking calls under locks, read->write upgrades, and silent
-  broad excepts in critical sections (codes ``LK001``-``LK004``).
+  broad excepts in critical sections (codes ``LK001``-``LK005``).
+* :mod:`repro.analysis.callgraph` — the **interprocedural pass**: a
+  whole-program call graph with may-block / may-acquire(level) summaries
+  that catches transitive blocking calls and lock-order inversions through
+  call chains (codes ``LK006``/``LK007``).
+* :mod:`repro.analysis.lockgraph` — the **deadlock sanitizer**: a runtime
+  lock-order recorder fed by the ``ReentrantRWLock`` observer hook; cycle
+  detection over the recorded graph reports potential deadlocks, hierarchy
+  inversions, and locks held across blocking calls (codes
+  ``LD001``-``LD003``).
 
-Both emit :class:`~repro.analysis.findings.Finding` objects; reporters,
+All emit :class:`~repro.analysis.findings.Finding` objects; reporters,
 baseline handling, and the ``python -m repro.analysis`` CLI live in
 :mod:`~repro.analysis.report`, :mod:`~repro.analysis.baseline`, and
 :mod:`~repro.analysis.cli`.
@@ -31,11 +40,25 @@ from repro.analysis.findings import (
     max_severity,
     sort_findings,
 )
+from repro.analysis.callgraph import CallGraph, analyze_paths, build_call_graph
 from repro.analysis.lockcheck import lint_file, lint_paths, lint_source
+from repro.analysis.lockgraph import (
+    LockOrderRecorder,
+    analyze_payload,
+    load_payload,
+    record_locks,
+)
 from repro.analysis.plan import PlanIndex, build_index, resolve_plan, verify_system
 from repro.analysis.report import parse_report, render_json, render_text
 
 __all__ = [
+    "CallGraph",
+    "analyze_paths",
+    "build_call_graph",
+    "LockOrderRecorder",
+    "analyze_payload",
+    "load_payload",
+    "record_locks",
     "Baseline",
     "apply_baseline",
     "CODES",

@@ -3,11 +3,17 @@
 Usage::
 
     python -m repro.analysis [paths...] [--plan SPEC]...
+                             [--interprocedural] [--lock-report FILE]...
                              [--format text|json] [--fail-on error|warning]
                              [--baseline FILE] [--write-baseline FILE]
                              [--output FILE] [--verbose]
 
 ``paths`` are files or directories to run the lock-discipline lint over;
+``--interprocedural`` additionally runs the whole-program call-graph pass
+(codes ``LK006``/``LK007``) over the same paths; ``--lock-report`` analyzes
+a runtime lock-order recording written by
+:meth:`repro.analysis.lockgraph.LockOrderRecorder.save` (or the
+``--record-locks`` pytest option), emitting ``LD001``-``LD003``;
 ``--plan`` names a plan factory for the graph verifier as either
 ``package.module:factory`` or ``path/to/script.py:factory``.  The factory is
 called with no arguments and may return a ``MetadataSystem`` directly, any
@@ -29,8 +35,10 @@ import sys
 from typing import Callable, Sequence
 
 from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.callgraph import analyze_paths as analyze_interprocedural
 from repro.analysis.findings import Finding, Severity, sort_findings
 from repro.analysis.lockcheck import lint_paths
+from repro.analysis.lockgraph import analyze_payload, load_payload
 from repro.analysis.plan import resolve_plan, verify_system
 from repro.analysis.report import render_json, render_text
 
@@ -66,15 +74,25 @@ def load_plan_factory(spec: str) -> Callable[[], object]:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static analyzers for the metadata runtime: plan "
-                    "verifier (MD001-MD008) and lock-discipline lint "
-                    "(LK001-LK004).")
+        description="Analyzers for the metadata runtime: plan verifier "
+                    "(MD001-MD009), lock-discipline lint (LK001-LK005), "
+                    "interprocedural pass (LK006/LK007), and runtime "
+                    "lock-order recordings (LD001-LD003).")
     parser.add_argument(
         "paths", nargs="*",
         help="files or directories to lint for lock discipline")
     parser.add_argument(
         "--plan", action="append", default=[], metavar="SPEC",
         help="plan factory to verify, as module:factory or file.py:factory "
+             "(repeatable)")
+    parser.add_argument(
+        "--interprocedural", action="store_true",
+        help="also run the whole-program call-graph pass over the lint "
+             "paths (transitive blocking/inversion, codes LK006/LK007)")
+    parser.add_argument(
+        "--lock-report", action="append", default=[], metavar="FILE",
+        help="runtime lock-order recording (from --record-locks or "
+             "LockOrderRecorder.save) to analyze for LD001-LD003 "
              "(repeatable)")
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -108,8 +126,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    if not args.paths and not args.plan:
-        parser.error("nothing to analyze: give lint paths and/or --plan")
+    if not args.paths and not args.plan and not args.lock_report:
+        parser.error("nothing to analyze: give lint paths, --plan, "
+                     "and/or --lock-report")
+    if args.interprocedural and not args.paths:
+        parser.error("--interprocedural needs lint paths to analyze")
 
     findings: list[Finding] = []
 
@@ -120,6 +141,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.paths:
         findings.extend(lint_paths(args.paths))
+        if args.interprocedural:
+            findings.extend(analyze_interprocedural(args.paths))
+
+    for report_path in args.lock_report:
+        try:
+            payload = load_payload(report_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: --lock-report {report_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        findings.extend(analyze_payload(payload))
 
     for spec in args.plan:
         try:

@@ -74,9 +74,11 @@ class CodeInfo:
     paper: str = ""  # section / figure the check reproduces, if any
 
 
-#: Every code either analyzer family can emit.  ``MD``-codes come from the
+#: Every code the analyzer families can emit.  ``MD``-codes come from the
 #: plan verifier (metadata dependency graphs and update-mechanism misuse);
-#: ``LK``-codes from the lock-discipline lint.
+#: ``LK``-codes from the lock-discipline lint (``LK006``/``LK007`` from its
+#: interprocedural upgrade); ``LD``-codes from the runtime lock-order
+#: recorder (:mod:`repro.analysis.lockgraph`).
 CODES: dict[str, CodeInfo] = {
     info.code: info
     for info in (
@@ -121,6 +123,20 @@ CODES: dict[str, CodeInfo] = {
         CodeInfo("LK005", Severity.WARNING,
                  "broad except without a log, raise, or error counter in the "
                  "handler block"),
+        CodeInfo("LK006", Severity.WARNING,
+                 "transitive blocking call while holding a hierarchy lock "
+                 "(reached through the call graph)"),
+        CodeInfo("LK007", Severity.ERROR,
+                 "transitive lock-order inversion through a call chain "
+                 "(callee acquires an earlier-level lock)", "Section 4.2"),
+        CodeInfo("LD001", Severity.ERROR,
+                 "potential deadlock: cycle in the runtime lock-order graph "
+                 "(recorded from real executions)", "Section 4.2"),
+        CodeInfo("LD002", Severity.ERROR,
+                 "runtime hierarchy inversion: lock acquired against the "
+                 "documented graph -> node -> item order", "Section 4.2"),
+        CodeInfo("LD003", Severity.WARNING,
+                 "lock observed held across a blocking call at runtime"),
     )
 }
 

@@ -62,7 +62,17 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.findings import CODES, Finding
 
-__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "blocking_call",
+    "classify_with_item",
+    "suppression_covers",
+    "BLOCKING_CATALOGUE",
+    "LEVELS",
+]
 
 #: Hierarchy levels in acquisition order (mirrors locks.LOCK_HIERARCHY).
 LEVELS: dict[str, int] = {"graph": 0, "node": 1, "item": 2}
@@ -78,6 +88,22 @@ _LEVEL_BY_NAME: dict[str, str] = {
 _GENERIC_LOCK_RE = re.compile(r"(?:^|_)(?:lock|mutex|cond)$")
 
 _IGNORE_RE = re.compile(r"#\s*analysis:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
+
+
+def suppression_covers(line_text: str, code: str) -> bool:
+    """True when ``line_text`` carries ``# analysis: ignore`` for ``code``.
+
+    A bare ``ignore`` covers every code; ``ignore[LK001, LD002]`` covers the
+    listed codes only.  Shared by the lint, the interprocedural pass and the
+    runtime lock-order recorder so every analyzer honours the same comment.
+    """
+    match = _IGNORE_RE.search(line_text)
+    if not match:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    return code in {c.strip() for c in codes.split(",")}
 
 
 def _terminal_name(expr: ast.expr) -> str | None:
@@ -97,8 +123,12 @@ class _HeldLock:
     line: int
 
 
-def _classify_with_item(item: ast.withitem) -> _HeldLock | None:
-    """Classify one ``with`` context manager as a lock acquisition."""
+def classify_with_item(item: ast.withitem) -> _HeldLock | None:
+    """Classify one ``with`` context manager as a lock acquisition.
+
+    Public because the interprocedural pass (:mod:`repro.analysis.callgraph`)
+    uses the same classification for its may-acquire summaries.
+    """
     ctx = item.context_expr
     # E.read() / E.write(): RW acquisition; hierarchy level from E's name.
     if (isinstance(ctx, ast.Call) and isinstance(ctx.func, ast.Attribute)
@@ -194,8 +224,35 @@ def _records_failure(handler: ast.ExceptHandler) -> bool:
 
 _BLOCKING_SLEEP = {"sleep"}
 
+#: Human-readable catalogue of the blocking operations the analyzers
+#: recognize.  :func:`blocking_call` is the executable form; this table is
+#: what the documentation renders and what tests assert coverage against.
+#: The interprocedural may-block summaries (:mod:`repro.analysis.callgraph`)
+#: and the runtime recorder's blocking instrumentation
+#: (:mod:`repro.analysis.lockgraph`) both build on the same function, so the
+#: static and dynamic checks agree on what "blocking" means.
+BLOCKING_CATALOGUE: dict[str, str] = {
+    "sleep": "time.sleep / bare sleep",
+    "join": "thread join (str.join excluded by argument shape)",
+    "queue-get": ".get on queue/pending-named receivers",
+    "wait": "Condition.wait / Event.wait / Barrier.wait (any .wait call)",
+    "socket": "socket recv/recvfrom/recv_into on any receiver; "
+              "accept/connect/sendall on socket-named receivers",
+    "subprocess": "subprocess.run / call / check_call / check_output",
+    "select": "select.select / selector.select",
+}
 
-def _blocking_call(call: ast.Call) -> str | None:
+#: Socket methods that block regardless of receiver naming (``recv`` is
+#: distinctive enough) vs. those needing a socket-smelling receiver
+#: (``connect`` is also a graph-builder verb in this codebase).
+_SOCKET_ALWAYS = {"recv", "recvfrom", "recv_into"}
+_SOCKET_NAMED = {"accept", "connect", "sendall"}
+_SOCKET_RECEIVER_RE = re.compile(r"sock|conn", re.IGNORECASE)
+
+_SUBPROCESS_CALLS = {"run", "call", "check_call", "check_output"}
+
+
+def blocking_call(call: ast.Call) -> str | None:
     """Name a blocking operation, or None when the call looks safe.
 
     Heuristics tuned against this codebase:
@@ -205,13 +262,22 @@ def _blocking_call(call: ast.Call) -> str | None:
       an iterable argument, so calls whose receiver is a string literal or
       whose single argument is a comprehension/list/generator are skipped;
     * ``x.get(...)`` where the receiver's name mentions a queue — blocking
-      queue read (plain ``dict.get`` receivers do not match).
+      queue read (plain ``dict.get`` receivers do not match);
+    * ``x.wait(...)`` — ``Condition``/``Event``/``Barrier`` waits (every
+      ``.wait`` method in this codebase parks the calling thread);
+    * socket I/O — ``recv``/``recvfrom``/``recv_into`` on any receiver,
+      ``accept``/``connect``/``sendall`` on receivers named like sockets;
+    * ``subprocess.run``/``call``/``check_call``/``check_output``;
+    * ``select.select`` / ``selector.select``.
+
+    See :data:`BLOCKING_CATALOGUE` for the documented table.
     """
     func = call.func
     if isinstance(func, ast.Name) and func.id in _BLOCKING_SLEEP:
         return func.id
     if isinstance(func, ast.Attribute):
         receiver = func.value
+        receiver_name = _terminal_name(receiver) or ""
         if func.attr == "sleep":
             return ast.unparse(func)
         if func.attr == "join":
@@ -231,10 +297,26 @@ def _blocking_call(call: ast.Call) -> str | None:
                 return None
             return ast.unparse(func)
         if func.attr == "get":
-            name = _terminal_name(receiver) or ""
-            if "queue" in name.lower() or "pending" in name.lower():
+            if "queue" in receiver_name.lower() or \
+                    "pending" in receiver_name.lower():
                 return ast.unparse(func)
+        if func.attr == "wait" and not isinstance(receiver, ast.Constant):
+            return ast.unparse(func)
+        if func.attr in _SOCKET_ALWAYS:
+            return ast.unparse(func)
+        if func.attr in _SOCKET_NAMED and \
+                _SOCKET_RECEIVER_RE.search(receiver_name):
+            return ast.unparse(func)
+        if func.attr in _SUBPROCESS_CALLS and receiver_name == "subprocess":
+            return ast.unparse(func)
+        if func.attr == "select" and \
+                receiver_name in ("select", "selector", "selectors"):
+            return ast.unparse(func)
     return None
+
+
+#: Backwards-compatible private alias (the public name is :func:`blocking_call`).
+_blocking_call = blocking_call
 
 
 class _FunctionLinter(ast.NodeVisitor):
@@ -252,12 +334,7 @@ class _FunctionLinter(ast.NodeVisitor):
 
     def _suppressed(self, line: int, code: str) -> bool:
         if 1 <= line <= len(self.source_lines):
-            match = _IGNORE_RE.search(self.source_lines[line - 1])
-            if match:
-                codes = match.group("codes")
-                if codes is None:
-                    return True
-                return code in {c.strip() for c in codes.split(",")}
+            return suppression_covers(self.source_lines[line - 1], code)
         return False
 
     def _report(self, code: str, line: int, message: str, **details: object) -> None:
@@ -282,7 +359,7 @@ class _FunctionLinter(ast.NodeVisitor):
     def _handle_with(self, node: ast.With | ast.AsyncWith) -> None:
         acquired: list[_HeldLock] = []
         for item in node.items:
-            lock = _classify_with_item(item)
+            lock = classify_with_item(item)
             if lock is None:
                 continue
             if lock.level is not None:
@@ -327,7 +404,7 @@ class _FunctionLinter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         if self._hierarchy_held():
-            blocking = _blocking_call(node)
+            blocking = blocking_call(node)
             if blocking is not None:
                 holder = self._hierarchy_held()[-1]
                 self._report(

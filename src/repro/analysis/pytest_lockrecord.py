@@ -1,0 +1,73 @@
+"""pytest integration for the deadlock sanitizer: ``--record-locks``.
+
+Running any test selection with ``--record-locks`` wraps the whole session
+in one :class:`~repro.analysis.lockgraph.LockOrderRecorder`: every
+``ReentrantRWLock`` acquisition in every test feeds the runtime lock-order
+graph, and at session end the recorder's findings (LD001 cycles, LD002
+hierarchy inversions, LD003 blocking-under-lock) are reported and **fail
+the run** — this is how CI's ``deadlock`` job turns the stress suite into
+a deadlock detector::
+
+    pytest -m stress --record-locks=lock-report.json
+    python -m repro.analysis --lock-report lock-report.json --fail-on error
+
+With an argument the raw recording payload is also written to that file so
+the CLI (``--lock-report``) can re-analyze or archive it; without one the
+findings are computed in-process only.
+
+The hooks are plain module-level functions that ``tests/conftest.py``
+delegates to (``pytest_plugins`` outside the rootdir conftest is rejected
+by modern pytest), so the plugin also works via ``-p
+repro.analysis.pytest_lockrecord`` from any checkout with ``src`` on the
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.lockgraph import LockOrderRecorder
+from repro.analysis.report import render_text
+
+_STATE_ATTR = "_repro_lock_recorder_state"
+
+
+def pytest_addoption(parser: Any) -> None:
+    group = parser.getgroup("repro", "metadata runtime analyzers")
+    group.addoption(
+        "--record-locks", action="store", nargs="?", const="", default=None,
+        metavar="FILE",
+        help="record the runtime lock-order graph for the whole session and "
+             "fail on any LD finding; with FILE, also write the raw "
+             "recording for `python -m repro.analysis --lock-report FILE`")
+
+
+def pytest_configure(config: Any) -> None:
+    option = config.getoption("--record-locks")
+    if option is None:
+        return
+    recorder = LockOrderRecorder()
+    recorder.install()
+    patch = recorder.instrument_blocking()
+    patch.__enter__()
+    setattr(config, _STATE_ATTR, (recorder, patch, option))
+
+
+def pytest_sessionfinish(session: Any, exitstatus: int) -> None:
+    state = getattr(session.config, _STATE_ATTR, None)
+    if state is None:
+        return
+    recorder, patch, path = state
+    delattr(session.config, _STATE_ATTR)
+    patch.__exit__(None, None, None)
+    recorder.uninstall()
+    if path:
+        recorder.save(path)
+    findings = recorder.findings()
+    print()
+    print(f"lock-order recording: {recorder.acquisitions} acquisition(s), "
+          f"{len(findings)} finding(s)"
+          + (f", payload written to {path}" if path else ""))
+    if findings:
+        print(render_text(findings, verbose=True))
+        session.exitstatus = 1

@@ -91,8 +91,27 @@ class RaceCheck:
             self._specs.append((f"{base}-{len(self._specs)}", fn, count))
         return self
 
-    def run(self) -> list[WorkerReport]:
-        """Execute all registered workers concurrently; raise on any failure."""
+    def run(self, recorder: object | None = None) -> list[WorkerReport]:
+        """Execute all registered workers concurrently; raise on any failure.
+
+        ``recorder`` — a :class:`~repro.analysis.lockgraph.LockOrderRecorder`
+        — is installed for the duration of the run, so the stress workload
+        doubles as a deadlock-sanitizer probe::
+
+            recorder = LockOrderRecorder()
+            check.run(recorder=recorder)
+            assert recorder.findings() == []
+        """
+        if recorder is not None:
+            session = getattr(recorder, "session", None)
+            if session is None:
+                raise TypeError(
+                    f"recorder {recorder!r} has no session() context manager")
+            with session():
+                return self._run()
+        return self._run()
+
+    def _run(self) -> list[WorkerReport]:
         if not self._specs:
             raise ValueError("no workers registered; call add() first")
         barrier = threading.Barrier(len(self._specs))

@@ -15,8 +15,23 @@ this module implements one from scratch with the semantics the paper needs:
 * **Writer preference**: once a writer is waiting, new readers queue behind it
   so that metadata updates are not starved by a stream of monitoring reads.
 
-The lock also counts acquisitions and contention events, which the locking
-benchmark (experiment E9) reports.
+The lock also counts acquisitions, contention events and cumulative wait
+time, which the locking benchmark (experiment E9) and ``describe_system()``'s
+hot-lock view report.
+
+Observer hook
+-------------
+
+A process-wide **acquisition observer** (see
+:class:`repro.analysis.lockgraph.LockOrderRecorder`) can be installed with
+:meth:`ReentrantRWLock.install_observer`.  While installed, every successful
+acquire/release is reported — the deadlock sanitizer builds its runtime
+lock-order graph from these callbacks.  While *not* installed (the shipped
+default), each hook site reduces to a single ``observer is None`` check, the
+same overhead discipline the telemetry hooks follow (gated by
+``benchmarks/bench_lockgraph_overhead.py``).  Callbacks run *outside* the
+lock's internal condition, so an observer can never deadlock the lock it is
+watching.
 """
 
 from __future__ import annotations
@@ -24,12 +39,18 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.common.errors import LockUpgradeError
 
 __all__ = ["ReentrantRWLock", "LockStats"]
+
+#: Module-level mirror of :attr:`ReentrantRWLock.observer`, checked on the
+#: hot path — a plain global load is measurably cheaper than an attribute
+#: lookup, and the acquisition fast path is the most executed code in the
+#: runtime.  Always kept in sync by install_observer/uninstall_observer.
+_OBSERVER: Any = None
 
 
 @dataclass
@@ -38,12 +59,18 @@ class LockStats:
 
     ``read_contended`` / ``write_contended`` count acquisitions that had to
     wait; they are what the lock-granularity benchmark compares.
+    ``read_wait_seconds`` / ``write_wait_seconds`` accumulate the wall-clock
+    time spent in those waits (timed-out attempts included — the time was
+    spent either way), so a hot lock is visible not just by how *often* it
+    contends but by how *long* it stalls its waiters.
     """
 
     read_acquired: int = 0
     write_acquired: int = 0
     read_contended: int = 0
     write_contended: int = 0
+    read_wait_seconds: float = 0.0
+    write_wait_seconds: float = 0.0
 
     def snapshot(self) -> "LockStats":
         """Return an independent copy of the current counters."""
@@ -52,6 +79,8 @@ class LockStats:
             write_acquired=self.write_acquired,
             read_contended=self.read_contended,
             write_contended=self.write_contended,
+            read_wait_seconds=self.read_wait_seconds,
+            write_wait_seconds=self.write_wait_seconds,
         )
 
     def __add__(self, other: "LockStats") -> "LockStats":
@@ -60,7 +89,30 @@ class LockStats:
             write_acquired=self.write_acquired + other.write_acquired,
             read_contended=self.read_contended + other.read_contended,
             write_contended=self.write_contended + other.write_contended,
+            read_wait_seconds=self.read_wait_seconds + other.read_wait_seconds,
+            write_wait_seconds=self.write_wait_seconds + other.write_wait_seconds,
         )
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-data view for ``describe_system()`` and JSON reports."""
+        return {
+            "read_acquired": self.read_acquired,
+            "write_acquired": self.write_acquired,
+            "read_contended": self.read_contended,
+            "write_contended": self.write_contended,
+            "read_wait_seconds": self.read_wait_seconds,
+            "write_wait_seconds": self.write_wait_seconds,
+        }
+
+    @property
+    def wait_seconds(self) -> float:
+        """Total time waiters spent blocked on this lock (both sides)."""
+        return self.read_wait_seconds + self.write_wait_seconds
+
+    @property
+    def contended(self) -> int:
+        """Total contended acquisitions (both sides)."""
+        return self.read_contended + self.write_contended
 
 
 @dataclass
@@ -83,6 +135,11 @@ class ReentrantRWLock:
             shared_state = new_value
     """
 
+    #: Process-wide acquisition observer (installed by the deadlock
+    #: sanitizer's :class:`~repro.analysis.lockgraph.LockOrderRecorder`).
+    #: ``None`` — the default — keeps every hook a single identity check.
+    observer: Any = None
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._cond = threading.Condition()
@@ -92,6 +149,30 @@ class ReentrantRWLock:
         self._writer_reentry = 0
         self._waiting_writers = 0
         self.stats = LockStats()
+
+    # -- observer ----------------------------------------------------------
+
+    @classmethod
+    def install_observer(cls, observer: Any) -> None:
+        """Install the process-wide acquisition observer.
+
+        ``observer`` must provide ``on_acquire(lock, mode, nested, contended)``
+        and ``on_release(lock, mode, released)``; both are invoked outside the
+        lock's internal condition.  Installing over an existing observer
+        raises — nesting recorders would corrupt both lock-order graphs.
+        """
+        global _OBSERVER
+        if cls.observer is not None and cls.observer is not observer:
+            raise RuntimeError("a lock observer is already installed")
+        cls.observer = observer
+        _OBSERVER = observer
+
+    @classmethod
+    def uninstall_observer(cls) -> None:
+        """Remove the process-wide acquisition observer (idempotent)."""
+        global _OBSERVER
+        cls.observer = None
+        _OBSERVER = None
 
     # -- internal helpers --------------------------------------------------
 
@@ -132,6 +213,12 @@ class ReentrantRWLock:
         absolute monotonic deadline across all condition-wait rounds, so
         spurious or irrelevant wakeups cannot extend it.
         """
+        # Hot path: while no observer is installed (the shipped default) the
+        # hook is this one attribute load + None check; the callback
+        # bookkeeping lives in the _observed variant.
+        observer = _OBSERVER
+        if observer is not None:
+            return self._acquire_read_observed(observer, timeout)
         ident = threading.get_ident()
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -142,9 +229,14 @@ class ReentrantRWLock:
                 self.stats.read_acquired += 1
                 return True
             contended = False
+            wait_start = 0.0
             while self._writer is not None or self._waiting_writers > 0:
-                contended = True
+                if not contended:
+                    contended = True
+                    wait_start = time.monotonic()
                 if not self._wait_until(deadline):
+                    self.stats.read_wait_seconds += (
+                        time.monotonic() - wait_start)
                     self._discard_if_idle(ident)
                     return False
             state.read_count = 1
@@ -152,10 +244,50 @@ class ReentrantRWLock:
             self.stats.read_acquired += 1
             if contended:
                 self.stats.read_contended += 1
+                self.stats.read_wait_seconds += (
+                    time.monotonic() - wait_start)
             return True
+
+    def _acquire_read_observed(self, observer: Any,
+                               timeout: float | None) -> bool:
+        """:meth:`acquire_read` with the observer callback; invoked outside
+        ``_cond`` so the observer can never deadlock this lock."""
+        ident = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        nested = True
+        contended = False
+        with self._cond:
+            state = self._state(ident)
+            if state.write_count > 0 or state.read_count > 0:
+                state.read_count += 1
+                self.stats.read_acquired += 1
+            else:
+                wait_start = 0.0
+                while self._writer is not None or self._waiting_writers > 0:
+                    if not contended:
+                        contended = True
+                        wait_start = time.monotonic()
+                    if not self._wait_until(deadline):
+                        self.stats.read_wait_seconds += (
+                            time.monotonic() - wait_start)
+                        self._discard_if_idle(ident)
+                        return False
+                state.read_count = 1
+                nested = False
+                self._active_readers += 1
+                self.stats.read_acquired += 1
+                if contended:
+                    self.stats.read_contended += 1
+                    self.stats.read_wait_seconds += (
+                        time.monotonic() - wait_start)
+        observer.on_acquire(self, "read", nested, contended)
+        return True
 
     def release_read(self) -> None:
         """Release one level of the read lock held by the calling thread."""
+        observer = _OBSERVER
+        if observer is not None:
+            return self._release_read_observed(observer)
         ident = threading.get_ident()
         with self._cond:
             state = self._threads.get(ident)
@@ -168,6 +300,22 @@ class ReentrantRWLock:
                 if self._active_readers == 0:
                     self._cond.notify_all()
 
+    def _release_read_observed(self, observer: Any) -> None:
+        ident = threading.get_ident()
+        released = False
+        with self._cond:
+            state = self._threads.get(ident)
+            if state is None or state.read_count == 0:
+                raise RuntimeError(f"thread does not hold read lock {self.name!r}")
+            state.read_count -= 1
+            if state.read_count == 0 and state.write_count == 0:
+                released = True
+                self._active_readers -= 1
+                self._discard_if_idle(ident)
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+        observer.on_release(self, "read", released)
+
     # -- write lock ----------------------------------------------------------
 
     def acquire_write(self, timeout: float | None = None) -> bool:
@@ -177,6 +325,9 @@ class ReentrantRWLock:
         Raises :class:`LockUpgradeError` if the calling thread holds only a
         read lock (upgrading is a deadlock hazard and therefore forbidden).
         """
+        observer = _OBSERVER
+        if observer is not None:
+            return self._acquire_write_observed(observer, timeout)
         ident = threading.get_ident()
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
@@ -193,23 +344,82 @@ class ReentrantRWLock:
                 )
             self._waiting_writers += 1
             contended = False
+            wait_start = 0.0
             try:
                 while self._writer is not None or self._active_readers > 0:
-                    contended = True
+                    if not contended:
+                        contended = True
+                        wait_start = time.monotonic()
                     if not self._wait_until(deadline):
+                        self.stats.write_wait_seconds += (
+                            time.monotonic() - wait_start)
                         return False
                 self._writer = ident
                 state.write_count = 1
                 self.stats.write_acquired += 1
                 if contended:
                     self.stats.write_contended += 1
+                    self.stats.write_wait_seconds += (
+                        time.monotonic() - wait_start)
                 return True
             finally:
                 self._waiting_writers -= 1
                 self._discard_if_idle(ident)
 
+    def _acquire_write_observed(self, observer: Any,
+                                timeout: float | None) -> bool:
+        """:meth:`acquire_write` with the observer callback; invoked outside
+        ``_cond`` so the observer can never deadlock this lock."""
+        ident = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        nested = True
+        contended = False
+        acquired = False
+        with self._cond:
+            state = self._state(ident)
+            if state.write_count > 0:
+                state.write_count += 1
+                self.stats.write_acquired += 1
+                acquired = True
+            else:
+                if state.read_count > 0:
+                    self._discard_if_idle(ident)
+                    raise LockUpgradeError(
+                        f"thread holds read lock {self.name!r} and requested the "
+                        "write lock; release the read lock first"
+                    )
+                self._waiting_writers += 1
+                wait_start = 0.0
+                try:
+                    while self._writer is not None or self._active_readers > 0:
+                        if not contended:
+                            contended = True
+                            wait_start = time.monotonic()
+                        if not self._wait_until(deadline):
+                            self.stats.write_wait_seconds += (
+                                time.monotonic() - wait_start)
+                            return False
+                    self._writer = ident
+                    state.write_count = 1
+                    nested = False
+                    acquired = True
+                    self.stats.write_acquired += 1
+                    if contended:
+                        self.stats.write_contended += 1
+                        self.stats.write_wait_seconds += (
+                            time.monotonic() - wait_start)
+                finally:
+                    self._waiting_writers -= 1
+                    self._discard_if_idle(ident)
+        if acquired:
+            observer.on_acquire(self, "write", nested, contended)
+        return acquired
+
     def release_write(self) -> None:
         """Release one level of the write lock held by the calling thread."""
+        observer = _OBSERVER
+        if observer is not None:
+            return self._release_write_observed(observer)
         ident = threading.get_ident()
         with self._cond:
             state = self._threads.get(ident)
@@ -225,6 +435,26 @@ class ReentrantRWLock:
                     self._writer = None
                     self._discard_if_idle(ident)
                 self._cond.notify_all()
+
+    def _release_write_observed(self, observer: Any) -> None:
+        ident = threading.get_ident()
+        released = False
+        with self._cond:
+            state = self._threads.get(ident)
+            if state is None or state.write_count == 0 or self._writer != ident:
+                raise RuntimeError(f"thread does not hold write lock {self.name!r}")
+            state.write_count -= 1
+            if state.write_count == 0:
+                if state.read_count > 0:
+                    # Held a downgrade read: become a plain reader.
+                    self._writer = None
+                    self._active_readers += 1
+                else:
+                    released = True
+                    self._writer = None
+                    self._discard_if_idle(ident)
+                self._cond.notify_all()
+        observer.on_release(self, "write", released)
 
     # -- context managers ----------------------------------------------------
 

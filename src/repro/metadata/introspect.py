@@ -82,6 +82,11 @@ def describe_system(system: MetadataSystem) -> dict[str, Any]:
             "findings": [finding.to_dict() for finding in findings],
         },
         "health": _describe_health(system),
+        "locks": {
+            "policy": type(system.lock_policy).__name__,
+            "aggregate": system.lock_policy.aggregate_stats().to_dict(),
+            "hot": system.lock_policy.hot_locks(),
+        },
         "registries": [describe_registry(r) for r in system.registries()],
     }
 

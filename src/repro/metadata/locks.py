@@ -104,6 +104,13 @@ class LockPolicy:
         """Combined counters of every real lock this policy handed out."""
         return LockStats()
 
+    def hot_locks(self, limit: int = 5) -> list[dict[str, Any]]:
+        """Per-lock counters of the busiest locks — ordered by cumulative
+        wait time, then contended acquisitions — so hot spots are visible
+        before sharding decides partition counts.  Empty for policies
+        without per-lock accounting."""
+        return []
+
 
 class FineGrainedLockPolicy(LockPolicy):
     """One reentrant RW lock per graph, node and included item (the paper)."""
@@ -131,6 +138,17 @@ class FineGrainedLockPolicy(LockPolicy):
             total = total + lock.stats
         return total
 
+    def hot_locks(self, limit: int = 5) -> list[dict[str, Any]]:
+        used = [lock for lock in self._locks
+                if lock.stats.read_acquired or lock.stats.write_acquired]
+        used.sort(key=lambda lock: (lock.stats.wait_seconds,
+                                    lock.stats.contended,
+                                    lock.stats.read_acquired
+                                    + lock.stats.write_acquired),
+                  reverse=True)
+        return [{"name": lock.name, **lock.stats.to_dict()}
+                for lock in used[:limit]]
+
     @property
     def lock_count(self) -> int:
         return len(self._locks)
@@ -153,6 +171,12 @@ class CoarseLockPolicy(LockPolicy):
 
     def aggregate_stats(self) -> LockStats:
         return self._lock.stats.snapshot()
+
+    def hot_locks(self, limit: int = 5) -> list[dict[str, Any]]:
+        stats = self._lock.stats
+        if not (stats.read_acquired or stats.write_acquired):
+            return []
+        return [{"name": self._lock.name, **stats.to_dict()}]
 
 
 class NoOpLockPolicy(LockPolicy):

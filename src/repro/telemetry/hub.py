@@ -235,8 +235,15 @@ _HEALTH_COUNTERS = (
 )
 
 
-def render_dashboard(telemetry: Telemetry, width: int = 68) -> str:
-    """Text dashboard over the aggregated metric series."""
+def render_dashboard(telemetry: Telemetry, width: int = 68,
+                     lock_policy: Any = None) -> str:
+    """Text dashboard over the aggregated metric series.
+
+    ``lock_policy`` — a :class:`~repro.metadata.locks.LockPolicy` (e.g.
+    ``system.lock_policy``) — adds a lock-contention section: aggregate
+    acquisition/contention/wait counters plus the hottest individual locks,
+    the view that tells a sharding decision where the partitions should go.
+    """
     snap = telemetry.metrics.snapshot()
     lines = ["telemetry dashboard".center(width, "-")]
     lines.append(
@@ -288,6 +295,31 @@ def render_dashboard(telemetry: Telemetry, width: int = 68) -> str:
                 f"  {name:<38} count={data['count']:<8} "
                 f"mean={data['mean']:.6g}"
             )
+    if lock_policy is not None:
+        stats = lock_policy.aggregate_stats()
+        if stats.read_acquired or stats.write_acquired:
+            lines.append("")
+            lines.append("locks")
+            lines.append(f"  {'acquired (read/write)':<38} "
+                         f"{stats.read_acquired:>14}/{stats.write_acquired}")
+            lines.append(f"  {'contended (read/write)':<38} "
+                         f"{stats.read_contended:>14}/{stats.write_contended}")
+            lines.append(f"  {'wait seconds (read/write)':<38} "
+                         f"{stats.read_wait_seconds:>14.6f}"
+                         f"/{stats.write_wait_seconds:.6f}")
+            hot = lock_policy.hot_locks()
+            if hot:
+                lines.append("  hottest locks")
+                for entry in hot:
+                    acquired = (entry["read_acquired"]
+                                + entry["write_acquired"])
+                    contended = (entry["read_contended"]
+                                 + entry["write_contended"])
+                    waited = (entry["read_wait_seconds"]
+                              + entry["write_wait_seconds"])
+                    lines.append(
+                        f"    {entry['name']:<36} acq={acquired:<8} "
+                        f"cont={contended:<6} wait={waited:.6f}s")
     lines.append("-" * width)
     return "\n".join(lines)
 

@@ -103,6 +103,76 @@ class TestBlockingCalls:
         assert findings == []
 
 
+class TestBlockingCatalogue:
+    """The extended catalogue: sockets, synchronization waits, subprocesses
+    and selectors — shared verbatim with the interprocedural may-block
+    summaries."""
+
+    def test_socket_recv_any_receiver_lk002(self):
+        findings = lint("""
+            def bad(self, stream):
+                with self.node_lock.write():
+                    data = stream.recv(4096)
+                    more = stream.recv_into(buf)
+                    packet, addr = stream.recvfrom(512)
+        """)
+        assert codes(findings) == ["LK002", "LK002", "LK002"]
+
+    def test_socket_named_receiver_connect_accept_lk002(self):
+        findings = lint("""
+            def bad(self, sock):
+                with self.node_lock.write():
+                    sock.connect(("host", 80))
+                    conn, addr = sock.accept()
+                    conn.sendall(b"x")
+        """)
+        assert codes(findings) == ["LK002", "LK002", "LK002"]
+
+    def test_connect_on_non_socket_receiver_not_flagged(self):
+        findings = lint("""
+            def good(self, signal):
+                with self.node_lock.write():
+                    signal.connect(self.handler)
+        """)
+        assert findings == []
+
+    def test_condition_and_event_wait_lk002(self):
+        findings = lint("""
+            def bad(self, cond, done):
+                with self.node_lock.write():
+                    cond.wait(timeout=1.0)
+                    done.wait()
+        """)
+        assert codes(findings) == ["LK002", "LK002"]
+
+    def test_subprocess_calls_lk002(self):
+        findings = lint("""
+            import subprocess
+            def bad(self):
+                with self.node_lock.write():
+                    subprocess.run(["ls"])
+                    subprocess.check_output(["ls"])
+        """)
+        assert codes(findings) == ["LK002", "LK002"]
+
+    def test_select_lk002(self):
+        findings = lint("""
+            import select
+            def bad(self, selector):
+                with self.node_lock.write():
+                    select.select([r], [], [], 1.0)
+                    events = selector.select(timeout=0.5)
+        """)
+        assert codes(findings) == ["LK002", "LK002"]
+
+    def test_catalogue_lists_every_family(self):
+        from repro.analysis.lockcheck import BLOCKING_CATALOGUE
+        assert set(BLOCKING_CATALOGUE) == {
+            "sleep", "join", "queue-get", "wait",
+            "socket", "subprocess", "select",
+        }
+
+
 class TestUpgrade:
     def test_write_under_read_lk003(self):
         findings = lint("""

@@ -1,0 +1,318 @@
+"""Runtime lock-order recorder tests: edge recording, cycle detection
+(LD001), hierarchy inversions (LD002), blocking-under-lock observations
+(LD003), payload round-trips, suppression comments, and the RaceCheck
+integration."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.analysis import Severity
+from repro.analysis.lockgraph import (
+    LockOrderRecorder,
+    analyze_payload,
+    infer_level,
+    load_payload,
+    record_locks,
+)
+from repro.common.racecheck import RaceCheck
+from repro.common.rwlock import ReentrantRWLock
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+def run_thread(fn, name="worker"):
+    t = threading.Thread(target=fn, name=name)
+    t.start()
+    t.join(timeout=10.0)
+    assert not t.is_alive()
+
+
+class TestInferLevel:
+    def test_known_prefixes(self):
+        assert infer_level("graph") == "graph"
+        assert infer_level("node:op1") == "node"
+        assert infer_level("item:MetadataKey('rate')") == "item"
+
+    def test_unknown_names(self):
+        assert infer_level("global") is None
+        assert infer_level("bench:disabled") is None
+
+
+class TestRecorder:
+    def test_edges_recorded_per_thread(self):
+        rec = LockOrderRecorder()
+        a = ReentrantRWLock("node:a")
+        b = ReentrantRWLock("node:b")
+        with rec.session(instrument_blocking=False):
+            def ordered():
+                with a.write():
+                    with b.write():
+                        pass
+            run_thread(ordered)
+        payload = rec.to_payload()
+        assert payload["acquisitions"] == 2
+        assert len(payload["edges"]) == 1
+        edge = payload["edges"][0]
+        names = {row["serial"]: row["name"] for row in payload["locks"]}
+        assert names[edge["src"]] == "node:a"
+        assert names[edge["dst"]] == "node:b"
+        assert edge["src_mode"] == "write"
+        assert rec.findings() == []
+
+    def test_reentrant_acquisition_adds_no_edge(self):
+        rec = LockOrderRecorder()
+        a = ReentrantRWLock("node:a")
+        with rec.session(instrument_blocking=False):
+            with a.write():
+                with a.write():
+                    pass
+        assert rec.to_payload()["edges"] == []
+
+    def test_ld001_cycle_between_threads(self):
+        rec = LockOrderRecorder()
+        a = ReentrantRWLock("node:a")
+        b = ReentrantRWLock("node:b")
+        with rec.session(instrument_blocking=False):
+            def ab():
+                with a.write():
+                    with b.write():
+                        pass
+
+            def ba():
+                with b.write():
+                    with a.write():
+                        pass
+
+            run_thread(ab, "T-ab")
+            run_thread(ba, "T-ba")
+        findings = rec.findings()
+        assert codes(findings) == ["LD001"]
+        finding = findings[0]
+        assert finding.severity is Severity.ERROR
+        assert "node:a" in finding.message and "node:b" in finding.message
+        # Both acquisition stacks are part of the evidence.
+        assert sorted(finding.details["cycle"]) == [
+            "node:a [node]", "node:b [node]"]
+        edges = finding.details["edges"]
+        assert len(edges) == 2
+        for edge in edges:
+            assert edge["held_stack"] and edge["acquired_stack"]
+        assert finding.details["threads"] == ["T-ab", "T-ba"]
+
+    def test_consistent_order_is_clean(self):
+        rec = LockOrderRecorder()
+        a = ReentrantRWLock("node:a")
+        b = ReentrantRWLock("node:b")
+        with rec.session(instrument_blocking=False):
+            for name in ("T1", "T2"):
+                def ordered():
+                    with a.write():
+                        with b.write():
+                            pass
+                run_thread(ordered, name)
+        assert rec.findings() == []
+
+    def test_ld002_hierarchy_inversion(self):
+        rec = LockOrderRecorder()
+        graph = ReentrantRWLock("graph")
+        item = ReentrantRWLock("item:'rate'")
+        with rec.session(instrument_blocking=False):
+            with item.write():
+                with graph.read():
+                    pass
+        findings = rec.findings()
+        assert "LD002" in codes(findings)
+        ld002 = next(f for f in findings if f.code == "LD002")
+        assert "item" in ld002.message and "graph" in ld002.message
+
+    def test_ld003_sleep_while_holding_lock(self):
+        rec = LockOrderRecorder()
+        lock = ReentrantRWLock("item:'x'")
+        with rec.session():
+            with lock.write():
+                time.sleep(0.001)
+        findings = rec.findings()
+        assert codes(findings) == ["LD003"]
+        assert findings[0].severity is Severity.WARNING
+        assert "time.sleep" in findings[0].message
+
+    def test_sleep_without_lock_not_reported(self):
+        rec = LockOrderRecorder()
+        with rec.session():
+            time.sleep(0.001)
+        assert rec.findings() == []
+
+    def test_note_blocking_context(self):
+        rec = LockOrderRecorder()
+        lock = ReentrantRWLock("item:'x'")
+        with rec.session(instrument_blocking=False):
+            with lock.write():
+                with rec.blocking("db.query"):
+                    pass
+        findings = rec.findings()
+        assert codes(findings) == ["LD003"]
+        assert "db.query" in findings[0].message
+
+    def test_session_is_reentrant_for_same_recorder(self):
+        rec = LockOrderRecorder()
+        lock = ReentrantRWLock("node:a")
+        with rec.session(instrument_blocking=False):
+            with rec.session(instrument_blocking=False):
+                with lock.read():
+                    pass
+            # Outer session still recording after the inner one exits.
+            with lock.read():
+                pass
+        assert rec.acquisitions == 2
+
+    def test_record_locks_helper(self):
+        with record_locks(instrument_blocking=False) as rec:
+            lock = ReentrantRWLock("node:a")
+            with lock.read():
+                pass
+        assert rec.acquisitions == 1
+        assert ReentrantRWLock.observer is None
+
+
+class TestPayload:
+    def test_round_trip_preserves_findings(self, tmp_path):
+        rec = LockOrderRecorder()
+        a = ReentrantRWLock("node:a")
+        b = ReentrantRWLock("node:b")
+        with rec.session(instrument_blocking=False):
+            def ab():
+                with a.write():
+                    with b.write():
+                        pass
+
+            def ba():
+                with b.write():
+                    with a.write():
+                        pass
+
+            run_thread(ab)
+            run_thread(ba)
+        path = tmp_path / "locks.json"
+        rec.save(str(path))
+        payload = load_payload(str(path))
+        assert payload["version"] == 1
+        assert codes(analyze_payload(payload)) == codes(rec.findings())
+
+    def test_payload_is_json_safe(self):
+        rec = LockOrderRecorder()
+        lock = ReentrantRWLock("graph")
+        with rec.session():
+            with lock.write():
+                time.sleep(0.001)
+        json.dumps(rec.to_payload())  # must not raise
+
+    def test_load_payload_rejects_other_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"not": "a recording"}\n')
+        with pytest.raises(ValueError):
+            load_payload(str(path))
+
+
+class TestSuppression:
+    def _record_module(self, tmp_path, source):
+        """Run ``workload(make_lock)`` from a real file so the recorder's
+        stack witness points at source lines ``linecache`` can re-read."""
+        path = tmp_path / "fixture_mod.py"
+        path.write_text(textwrap.dedent(source))
+        namespace: dict = {}
+        exec(compile(path.read_text(), str(path), "exec"), namespace)
+        rec = LockOrderRecorder()
+        with rec.session(instrument_blocking=False):
+            namespace["workload"](ReentrantRWLock)
+        return rec
+
+    def test_ld001_suppressed_at_acquisition_site(self, tmp_path):
+        rec = self._record_module(tmp_path, """
+            import threading
+
+            def workload(make_lock):
+                a = make_lock("node:a")
+                b = make_lock("node:b")
+
+                def ab():
+                    with a.write():
+                        with b.write():
+                            pass
+
+                def ba():
+                    with b.write():
+                        with a.write():  # analysis: ignore[LD001]
+                            pass
+
+                for fn in (ab, ba):
+                    t = threading.Thread(target=fn)
+                    t.start()
+                    t.join()
+        """)
+        # The suppressed edge is removed before cycle detection, so the
+        # whole cycle disappears rather than being reported half-silenced.
+        assert rec.findings() == []
+
+    def test_ld002_suppressed_at_acquisition_site(self, tmp_path):
+        rec = self._record_module(tmp_path, """
+            def workload(make_lock):
+                graph = make_lock("graph")
+                item = make_lock("item:'rate'")
+                with item.write():
+                    with graph.read():  # analysis: ignore[LD002]
+                        pass
+        """)
+        assert rec.findings() == []
+
+    def test_unrelated_code_does_not_suppress(self, tmp_path):
+        rec = self._record_module(tmp_path, """
+            def workload(make_lock):
+                graph = make_lock("graph")
+                item = make_lock("item:'rate'")
+                with item.write():
+                    with graph.read():  # analysis: ignore[LD001]
+                        pass
+        """)
+        assert codes(rec.findings()) == ["LD002"]
+
+
+class TestRaceCheckIntegration:
+    def test_run_under_recorder(self):
+        lock = ReentrantRWLock("item:'x'")
+        counter = {"value": 0}
+
+        def bump(worker, iteration):
+            with lock.write():
+                counter["value"] += 1
+
+        rec = LockOrderRecorder()
+        check = RaceCheck(iterations=3)
+        check.add(bump, threads=4)
+        check.run(recorder=rec)
+        assert counter["value"] == 12
+        assert rec.acquisitions >= 12
+        assert rec.findings() == []
+
+    def test_run_under_recorder_inside_outer_session(self):
+        lock = ReentrantRWLock("item:'x'")
+
+        def touch(worker, iteration):
+            with lock.read():
+                pass
+
+        rec = LockOrderRecorder()
+        with rec.session(instrument_blocking=False):
+            check = RaceCheck(iterations=2)
+            check.add(touch, threads=2)
+            check.run(recorder=rec)
+            with lock.read():
+                pass  # outer session still live
+        assert rec.acquisitions >= 5

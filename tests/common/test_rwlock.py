@@ -300,6 +300,183 @@ class TestTimeoutDeadline:
             assert lock.held_by_current_thread() == "write"
 
 
+class _RecordingObserver:
+    """Collects every observer callback as a comparable tuple."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_acquire(self, lock, mode, nested, contended):
+        self.events.append(("acquire", lock.name, mode, nested, contended))
+
+    def on_release(self, lock, mode, released):
+        self.events.append(("release", lock.name, mode, released))
+
+
+@pytest.fixture
+def observer():
+    obs = _RecordingObserver()
+    ReentrantRWLock.install_observer(obs)
+    yield obs
+    ReentrantRWLock.uninstall_observer()
+
+
+class TestObserverHook:
+    def test_install_conflicting_observer_raises(self, observer):
+        with pytest.raises(RuntimeError):
+            ReentrantRWLock.install_observer(_RecordingObserver())
+        # Re-installing the same observer is a no-op, not an error.
+        ReentrantRWLock.install_observer(observer)
+
+    def test_uninstall_is_idempotent(self):
+        ReentrantRWLock.uninstall_observer()
+        ReentrantRWLock.uninstall_observer()
+        assert ReentrantRWLock.observer is None
+
+    def test_read_acquire_release_events(self, observer):
+        lock = ReentrantRWLock("t")
+        with lock.read():
+            pass
+        assert observer.events == [
+            ("acquire", "t", "read", False, False),
+            ("release", "t", "read", True),
+        ]
+
+    def test_nested_read_flagged_and_release_counted_once(self, observer):
+        lock = ReentrantRWLock("t")
+        with lock.read():
+            with lock.read():
+                pass
+        assert observer.events == [
+            ("acquire", "t", "read", False, False),
+            ("acquire", "t", "read", True, False),
+            ("release", "t", "read", False),  # inner: still held
+            ("release", "t", "read", True),   # outer: fully released
+        ]
+
+    def test_write_reentrancy_flags(self, observer):
+        lock = ReentrantRWLock("t")
+        with lock.write():
+            with lock.write():
+                pass
+        assert observer.events == [
+            ("acquire", "t", "write", False, False),
+            ("acquire", "t", "write", True, False),
+            ("release", "t", "write", False),
+            ("release", "t", "write", True),
+        ]
+
+    def test_downgrade_keeps_thread_in_lock(self, observer):
+        lock = ReentrantRWLock("t")
+        lock.acquire_write()
+        lock.acquire_read()
+        lock.release_write()
+        # The write release downgrades to the still-held read: not released.
+        assert observer.events[-1] == ("release", "t", "write", False)
+        lock.release_read()
+        assert observer.events[-1] == ("release", "t", "read", True)
+
+    def test_timed_out_acquire_emits_no_event(self, observer):
+        lock = ReentrantRWLock("t")
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        acquired.wait(timeout=5.0)
+        before = list(observer.events)
+        assert lock.acquire_read(timeout=0.05) is False
+        assert observer.events == before
+        release.set()
+        t.join(timeout=5.0)
+
+    def test_contended_flag_reported(self, observer):
+        lock = ReentrantRWLock("t")
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        acquired.wait(timeout=5.0)
+
+        def reader():
+            with lock.read():
+                pass
+
+        tr = threading.Thread(target=reader)
+        tr.start()
+        time.sleep(0.05)
+        release.set()
+        t.join(timeout=5.0)
+        tr.join(timeout=5.0)
+        assert ("acquire", "t", "read", False, True) in observer.events
+
+
+class TestWaitSeconds:
+    def test_uncontended_acquisitions_record_no_wait(self):
+        lock = ReentrantRWLock()
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+        assert lock.stats.read_wait_seconds == 0.0
+        assert lock.stats.write_wait_seconds == 0.0
+
+    def test_contended_read_accumulates_wait(self):
+        lock = ReentrantRWLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        acquired.wait(timeout=5.0)
+
+        def reader():
+            with lock.read():
+                pass
+
+        tr = threading.Thread(target=reader)
+        tr.start()
+        time.sleep(0.05)
+        release.set()
+        t.join(timeout=5.0)
+        tr.join(timeout=5.0)
+        assert lock.stats.read_wait_seconds > 0.0
+
+    def test_timed_out_wait_still_counted(self):
+        lock = ReentrantRWLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        acquired.wait(timeout=5.0)
+        assert lock.acquire_write(timeout=0.05) is False
+        assert lock.stats.write_wait_seconds >= 0.04
+        release.set()
+        t.join(timeout=5.0)
+
+
 class TestLockStats:
     def test_addition(self):
         a = LockStats(read_acquired=1, write_acquired=2, read_contended=3, write_contended=4)
@@ -315,3 +492,26 @@ class TestLockStats:
         snap = a.snapshot()
         a.read_acquired = 99
         assert snap.read_acquired == 1
+
+    def test_addition_includes_wait_seconds(self):
+        a = LockStats(read_wait_seconds=0.25, write_wait_seconds=1.0)
+        b = LockStats(read_wait_seconds=0.75, write_wait_seconds=0.5)
+        total = a + b
+        assert total.read_wait_seconds == 1.0
+        assert total.write_wait_seconds == 1.5
+
+    def test_derived_properties(self):
+        stats = LockStats(read_contended=2, write_contended=3,
+                          read_wait_seconds=0.25, write_wait_seconds=0.5)
+        assert stats.contended == 5
+        assert stats.wait_seconds == 0.75
+
+    def test_to_dict_round_trips_every_counter(self):
+        stats = LockStats(read_acquired=1, write_acquired=2,
+                          read_contended=3, write_contended=4,
+                          read_wait_seconds=0.5, write_wait_seconds=0.25)
+        assert stats.to_dict() == {
+            "read_acquired": 1, "write_acquired": 2,
+            "read_contended": 3, "write_contended": 4,
+            "read_wait_seconds": 0.5, "write_wait_seconds": 0.25,
+        }

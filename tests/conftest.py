@@ -4,9 +4,25 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import pytest_lockrecord as _lockrecord
 from repro.common.clock import VirtualClock
 from repro.metadata.registry import MetadataRegistry, MetadataSystem
 from repro.metadata.scheduling import VirtualTimeScheduler
+
+# ``pytest_plugins`` outside the rootdir conftest is an error in modern
+# pytest, so the --record-locks plugin's hooks are delegated explicitly.
+
+
+def pytest_addoption(parser):
+    _lockrecord.pytest_addoption(parser)
+
+
+def pytest_configure(config):
+    _lockrecord.pytest_configure(config)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _lockrecord.pytest_sessionfinish(session, exitstatus)
 
 
 class RegistryOwner:

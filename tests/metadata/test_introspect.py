@@ -68,6 +68,29 @@ class TestDescribe:
         assert {"s", "f", "out"} <= owners
         assert snapshot["stats"]["handlers_included"] == 0
 
+    def test_lock_section_reports_policy_and_counters(self):
+        graph, *_ = build()
+        locks = describe_system(graph.metadata_system)["locks"]
+        assert locks["policy"] == "NoOpLockPolicy"
+        assert locks["aggregate"]["read_acquired"] == 0
+        assert locks["hot"] == []
+
+    def test_lock_section_surfaces_hot_locks(self):
+        from repro.common.clock import VirtualClock
+        from repro.metadata.locks import FineGrainedLockPolicy
+        from repro.metadata.registry import MetadataSystem
+        from repro.metadata.scheduling import VirtualTimeScheduler
+
+        clock = VirtualClock()
+        system = MetadataSystem(clock, VirtualTimeScheduler(clock),
+                                lock_policy=FineGrainedLockPolicy())
+        with system.structure_lock.write():
+            pass
+        locks = describe_system(system)["locks"]
+        assert locks["policy"] == "FineGrainedLockPolicy"
+        assert locks["aggregate"]["write_acquired"] >= 1
+        assert any(entry["name"] == "graph" for entry in locks["hot"])
+
 
 class TestRendering:
     def test_report_readable(self):

@@ -46,6 +46,32 @@ class TestFineGrainedPolicy:
         assert stats.read_acquired == 1
         assert stats.write_acquired == 1
 
+    def test_hot_locks_skips_idle_and_orders_by_activity(self):
+        policy = FineGrainedLockPolicy()
+        graph = policy.graph_lock()
+        node = policy.node_lock(_Owner())
+        policy.item_lock(type("H", (), {"key": A})())  # never touched
+        with graph.read():
+            pass
+        for _ in range(3):
+            with node.write():
+                pass
+        hot = policy.hot_locks()
+        assert [entry["name"] for entry in hot] == ["node:n", "graph"]
+        assert hot[0]["write_acquired"] == 3
+        assert set(hot[0]) == {
+            "name", "read_acquired", "write_acquired", "read_contended",
+            "write_contended", "read_wait_seconds", "write_wait_seconds",
+        }
+
+    def test_hot_locks_respects_limit(self):
+        policy = FineGrainedLockPolicy()
+        for i in range(8):
+            lock = policy.node_lock(type("O", (), {"name": f"n{i}"})())
+            with lock.read():
+                pass
+        assert len(policy.hot_locks(limit=3)) == 3
+
 
 class TestCoarsePolicy:
     def test_single_shared_lock(self):
@@ -56,6 +82,18 @@ class TestCoarsePolicy:
 
         assert policy.graph_lock() is policy.node_lock(_Owner())
         assert policy.graph_lock() is policy.item_lock(FakeHandler())
+
+    def test_hot_locks_single_entry_when_used(self):
+        policy = CoarseLockPolicy()
+        assert policy.hot_locks() == []
+        with policy.graph_lock().write():
+            pass
+        hot = policy.hot_locks()
+        assert [entry["name"] for entry in hot] == ["global"]
+        assert hot[0]["write_acquired"] == 1
+
+    def test_noop_policy_has_no_hot_locks(self):
+        assert NoOpLockPolicy().hot_locks() == []
 
 
 class TestNoOpPolicy:

@@ -314,6 +314,24 @@ class TestIntrospectionAndDashboard:
         assert "0 dropped" in text
         sub.cancel()
 
+    def test_dashboard_lock_section(self, make_owner, system, clock):
+        from repro.metadata.locks import FineGrainedLockPolicy
+
+        tel = system.enable_telemetry()
+        policy = FineGrainedLockPolicy()
+        node = policy.node_lock(type("O", (), {"name": "op1"})())
+        with node.write():
+            pass
+        text = render_dashboard(tel, lock_policy=policy)
+        assert "locks" in text
+        assert "node:op1" in text
+        assert "contended (read/write)" in text
+        # Without a policy (every existing call site) the section is absent.
+        assert "locks" not in render_dashboard(tel)
+        # An all-idle policy renders nothing either.
+        assert "locks" not in render_dashboard(
+            tel, lock_policy=FineGrainedLockPolicy())
+
     def test_format_span_unknown_span(self, system):
         tel = system.enable_telemetry()
         assert format_span(tel, 999) == "span 999: no buffered events"

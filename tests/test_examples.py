@@ -71,6 +71,20 @@ class TestExamples:
         assert "why is probe/net.total_cost stale?" in out
         assert "telemetry dashboard" in out
 
+    def test_deadlock_demo(self, capsys):
+        out = run_example("deadlock_demo", capsys)
+        # Runtime half: the AB/BA cycle is reported from the recording even
+        # though the demo never actually deadlocked.
+        assert "no deadlock occurred" in out
+        assert "LD001" in out
+        assert "lock-order cycle" in out
+        assert "node:left" in out and "node:right" in out
+        # Static half: the graph-under-item acquisition three calls deep.
+        assert "LK007" in out
+        assert "transitive lock-order inversion" in out
+        assert "_register_globally" in out
+        assert "codes raised: LD001, LK007" in out
+
     def test_metadata_explorer(self, capsys):
         out = run_example("metadata_explorer", capsys)
         assert "working set after two subscriptions" in out
