@@ -84,7 +84,10 @@ class NoReliabilityEngine(PropagationEngine):
     """
 
     def _execute_plan_fast(self, entries: list, source,
-                           guarded: bool = True) -> None:
+                           guarded: bool = True,
+                           boundary: tuple = ()) -> None:
+        # ``boundary`` is always empty here (single-shard workload); the
+        # parameter only keeps the engine's call signature satisfied.
         changed: set[int] = {id(source)}
         members: set[int] = {id(source)}
         for handler, preds in entries[1:]:

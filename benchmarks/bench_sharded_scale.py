@@ -1,0 +1,434 @@
+#!/usr/bin/env python3
+"""Sharded-graph scaling benchmark — the contention gate for ISSUE 10.
+
+The single-shard runtime funnels every structural mutation (subscribe,
+cancel) through one graph write lock.  Under multi-threaded churn the lock
+becomes a convoy: every release wakes every waiter (the RW lock's
+writer-preference handoff is a ``notify_all``), one proceeds, the rest go
+back to sleep — overhead that grows with the number of waiters and throttles
+the wave pipeline running between the structural operations.
+
+This benchmark drives the identical churn workload at 1/2/4/8 shards:
+
+* **Workload** — 8 worker threads, one registry each, placed round-robin
+  across shards.  Each op is subscribe(chain tail) -> notify storms over the
+  chain -> cancel.  Dependencies are node-local, so the workload isolates
+  *structural* contention: with 8 shards every thread owns its shard's graph
+  lock outright, with 1 shard all eight serialize on the same lock.
+* **Throughput** — aggregate wave throughput (engine ``waves`` counter over
+  wall time).  Gate: >= 3x single-shard at 8 shards.
+* **Lock waits** — contended wait-seconds of the hottest graph-level lock
+  (``LockStats.wait_seconds``).  Gate: >= 5x reduction at 8 shards.
+* **Accounting equivalence** — a deterministic cross-shard workload
+  (boundary edges, a poisoning provider) replayed in all four
+  cached/uncached x traced/untraced modes must produce byte-identical wave
+  accounting per shard and globally: the conservation law
+  ``planned == refreshes + skipped_poisoned`` and the boundary law
+  ``sum(remote_out) == sum(remote_in)`` are asserted outright.
+
+Usage::
+
+    python benchmarks/bench_sharded_scale.py --check --output BENCH_sharded_scale.json
+
+Standalone on purpose (not collected by tier-1 pytest);
+``benchmarks/runner.py`` folds the metrics into ``BENCH_sharded.json`` as
+suite ``sharded``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.clock import VirtualClock
+from repro.metadata.item import Mechanism, MetadataDefinition, MetadataKey, NodeDep, SelfDep
+from repro.metadata.locks import FineGrainedLockPolicy
+from repro.metadata.registry import MetadataRegistry, MetadataSystem
+from repro.metadata.scheduling import VirtualTimeScheduler
+from repro.metadata.sharding import ShardedMetadataSystem, ShardedPropagationBackend
+
+THREADS = 8
+SHARD_COUNTS = (1, 2, 4, 8)
+CHAIN = 3                 # triggered items behind each node's source
+OPS_PER_THREAD = 40       # subscribe -> notify -> cancel cycles per round
+NOTIFIES_PER_OP = 2       # waves fired while the chain is subscribed
+ROUNDS = 3                # best-of rounds per shard count
+#: Inclusion-time cost of each node's static setup item: the initial
+#: computation samples node state (simulated as a short GIL-releasing I/O
+#: read, like a real monitoring probe).  It runs *inside* the graph-lock
+#: critical section, which is what makes the workload contention-bound:
+#: with one shard, every thread's setup serializes behind one lock; with
+#: per-shard locks the same reads overlap.
+SETUP_SECONDS = 0.0015
+
+GATE_THROUGHPUT_8 = 3.0   # aggregate waves/s at 8 shards vs single shard
+GATE_WAIT_REDUCTION = 5.0  # hottest graph-lock wait-seconds drop at 8 shards
+WAIT_EPS = 1e-6           # a fully idle shard lock reports ~0 wait
+
+#: Counters that must be byte-identical across the four execution modes,
+#: per shard and summed globally.  Cache/telemetry bookkeeping
+#: (plan_hits/plan_misses/cached_plans) differs by construction and
+#: pending/topology_epoch are configuration echoes, so they are excluded.
+ACCOUNTING_KEYS = (
+    "waves", "drains", "merged_waves", "coalesced_sources", "refreshes",
+    "suppressed", "errors", "planned", "skipped_poisoned",
+    "remote_in", "remote_out", "remote_waves",
+)
+
+SRC = MetadataKey("bench.src")
+
+
+class _Node:
+    """Registry owner whose name encodes its round-robin shard slot."""
+
+    def __init__(self, index: int) -> None:
+        self.name = f"node{index}"
+        self.index = index
+
+
+def _round_robin(owner, shards: int) -> int:
+    return owner.index % shards
+
+
+# ---------------------------------------------------------------------------
+# Contention workload
+# ---------------------------------------------------------------------------
+
+
+def build_churn_system(shards: int):
+    """One registry per thread, round-robin across ``shards`` shards.
+
+    Returns ``(system, registries, tails, states, graph_locks)``; each
+    registry holds a node-local SRC -> CHAIN triggered pipeline (no boundary
+    edges — the workload isolates structural lock contention).
+    """
+    clock = VirtualClock()
+    scheduler = VirtualTimeScheduler(clock)
+    policy = FineGrainedLockPolicy()
+    if shards == 1:
+        system = MetadataSystem(clock, scheduler, policy)
+        graph_locks = [system.structure_lock]
+    else:
+        system = ShardedMetadataSystem(clock, scheduler, policy,
+                                       shards=shards,
+                                       placement=_round_robin)
+        graph_locks = list(system.shard_locks)
+    setup = MetadataKey("bench.setup")
+    registries, tails, states = [], [], []
+    for index in range(THREADS):
+        registry = MetadataRegistry(_Node(index), system)
+        state = {"v": 0}
+        registry.define(MetadataDefinition(
+            SRC, Mechanism.ON_DEMAND,
+            compute=lambda ctx, state=state: state["v"],
+        ))
+        # Static: computed once per inclusion, under the graph lock — the
+        # contention-bound part of every subscribe.
+        registry.define(MetadataDefinition(
+            setup, Mechanism.STATIC,
+            compute=lambda ctx: time.sleep(SETUP_SECONDS) or 1,
+        ))
+        previous = SRC
+        for depth in range(CHAIN):
+            key = MetadataKey(f"bench.c{depth}")
+            deps = [SelfDep(previous)]
+            if depth == CHAIN - 1:
+                deps.append(SelfDep(setup))
+            registry.define(MetadataDefinition(
+                key, Mechanism.TRIGGERED,
+                compute=lambda ctx, dep=previous: ctx.value(dep) + 1,
+                dependencies=deps,
+            ))
+            previous = key
+        registries.append(registry)
+        tails.append(previous)
+        states.append(state)
+    return system, registries, tails, states, graph_locks
+
+
+def _churn_worker(registry, tail, state, start: threading.Barrier) -> None:
+    start.wait()
+    for _ in range(OPS_PER_THREAD):
+        subscription = registry.subscribe(tail)
+        for _ in range(NOTIFIES_PER_OP):
+            state["v"] += 1
+            registry.notify_changed(SRC)
+        subscription.cancel()
+
+
+def measure_shard_count(shards: int) -> dict:
+    """Best-of-ROUNDS churn run at one shard count."""
+    system, registries, tails, states, graph_locks = build_churn_system(shards)
+    best_seconds = float("inf")
+    for _ in range(ROUNDS):
+        start = threading.Barrier(THREADS + 1)
+        workers = [
+            threading.Thread(
+                target=_churn_worker,
+                args=(registries[i], tails[i], states[i], start),
+                name=f"churn-{i}")
+            for i in range(THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        start.wait()
+        t0 = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        best_seconds = min(best_seconds, time.perf_counter() - t0)
+    stats = system.propagation.stats()
+    waves_total = stats["waves"]
+    waves_per_round = THREADS * OPS_PER_THREAD * NOTIFIES_PER_OP
+    lock_waits = {lock.name: lock.stats.wait_seconds for lock in graph_locks}
+    return {
+        "shards": shards,
+        "seconds_best": best_seconds,
+        "waves_per_round": waves_per_round,
+        "waves_per_second": waves_per_round / best_seconds,
+        "waves_total": waves_total,
+        "waves_exact": waves_total == waves_per_round * ROUNDS,
+        "graph_lock_waits": lock_waits,
+        "hottest_wait_seconds": max(lock_waits.values()),
+        "stats": stats,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard accounting equivalence
+# ---------------------------------------------------------------------------
+
+
+def build_cross_shard_system(plan_cache: bool, traced: bool):
+    """Deterministic 4-shard workload with boundary edges and a poisoner.
+
+    8 nodes round-robin on 4 shards; node ``i``'s derived item depends on
+    node ``i+1``'s source (every edge crosses a boundary under round-robin),
+    and node 0's source can be flipped into a failing provider so poison has
+    to cross shards too.
+    """
+    clock = VirtualClock()
+    scheduler = VirtualTimeScheduler(clock)
+    backend = ShardedPropagationBackend(4, plan_cache=plan_cache)
+    system = ShardedMetadataSystem(clock, scheduler, FineGrainedLockPolicy(),
+                                   propagation=backend, shards=4,
+                                   placement=_round_robin)
+    if traced:
+        system.enable_telemetry()
+    nodes = [_Node(i) for i in range(8)]
+    registries = []
+    for node in nodes:
+        node.metadata = MetadataRegistry(node, system)
+        registries.append(node.metadata)
+    fail = {"on": False}
+    for i, registry in enumerate(registries):
+        if i == 0:
+            def compute(ctx, state={"v": 0}):
+                if fail["on"]:
+                    raise RuntimeError("injected provider failure")
+                return state["v"]
+            registry.define(MetadataDefinition(SRC, Mechanism.ON_DEMAND,
+                                               compute=compute))
+        else:
+            registry.define(MetadataDefinition(
+                SRC, Mechanism.ON_DEMAND,
+                compute=lambda ctx, i=i: i,
+            ))
+    derived = MetadataKey("bench.derived")
+    for i, registry in enumerate(registries):
+        neighbour = nodes[(i + 1) % len(nodes)]
+        registry.define(MetadataDefinition(
+            derived, Mechanism.TRIGGERED,
+            compute=lambda ctx: ctx.value(SRC) + 1,
+            dependencies=[NodeDep(neighbour, SRC)],
+        ))
+    # Second level: node i's rollup depends on node i+1's derived, so an
+    # error poisoning a derived item must *route* poison across another
+    # boundary into the rollup's shard (planned-and-skipped there).
+    second = MetadataKey("bench.second")
+    for i, registry in enumerate(registries):
+        neighbour = nodes[(i + 1) % len(nodes)]
+        registry.define(MetadataDefinition(
+            second, Mechanism.TRIGGERED,
+            compute=lambda ctx: ctx.value(derived) + 1,
+            dependencies=[NodeDep(neighbour, derived)],
+        ))
+    return system, registries, second, fail
+
+
+def run_cross_shard_mode(plan_cache: bool, traced: bool) -> dict:
+    system, registries, second, fail = build_cross_shard_system(
+        plan_cache, traced)
+    subscriptions = [registry.subscribe(second) for registry in registries]
+    # Healthy storms: every notify on node i+1 crosses into node i's shard.
+    for _ in range(5):
+        for registry in registries:
+            registry.notify_changed(SRC)
+    # Poisoned storms: node 0's provider fails; its error must poison the
+    # dependent on the foreign shard (planned-and-skipped there).
+    fail["on"] = True
+    for _ in range(3):
+        registries[0].notify_changed(SRC)
+    fail["on"] = False
+    for _ in range(2):
+        for registry in registries:
+            registry.notify_changed(SRC)
+    values = [subscription.get() for subscription in subscriptions]
+    for subscription in subscriptions:
+        subscription.cancel()
+    backend = system.propagation
+    per_shard = [
+        {key: stats[key] for key in ACCOUNTING_KEYS}
+        for stats in backend.shard_stats()
+    ]
+    total = {key: sum(shard[key] for shard in per_shard)
+             for key in ACCOUNTING_KEYS}
+    return {
+        "mode": f"{'cached' if plan_cache else 'uncached'}/"
+                f"{'traced' if traced else 'untraced'}",
+        "per_shard": per_shard,
+        "global": total,
+        "values": values,
+    }
+
+
+def measure_accounting() -> dict:
+    """All four execution modes over the identical cross-shard workload."""
+    modes = [
+        run_cross_shard_mode(plan_cache, traced)
+        for plan_cache in (True, False)
+        for traced in (False, True)
+    ]
+    reference = modes[0]
+    per_shard_equal = all(m["per_shard"] == reference["per_shard"]
+                          for m in modes[1:])
+    global_equal = all(m["global"] == reference["global"] for m in modes[1:])
+    values_equal = all(m["values"] == reference["values"] for m in modes[1:])
+    # Conservation per shard: every planned member either refreshed or was
+    # skipped as poisoned.  Remote arrivals are planned on the receiving
+    # shard, so the law covers crossings exactly like local wave members.
+    conservation = all(
+        shard["planned"] == shard["refreshes"] + shard["skipped_poisoned"]
+        for mode in modes for shard in mode["per_shard"]
+    ) and all(
+        mode["global"]["planned"] == (mode["global"]["refreshes"]
+                                      + mode["global"]["skipped_poisoned"])
+        for mode in modes
+    )
+    boundary_balanced = all(
+        mode["global"]["remote_out"] == mode["global"]["remote_in"]
+        for mode in modes
+    )
+    crossings_happened = reference["global"]["remote_in"] > 0
+    poison_crossed = reference["global"]["skipped_poisoned"] > 0
+    equivalent = (per_shard_equal and global_equal and values_equal
+                  and conservation and boundary_balanced
+                  and crossings_happened and poison_crossed)
+    return {
+        "modes": modes,
+        "per_shard_equal": per_shard_equal,
+        "global_equal": global_equal,
+        "values_equal": values_equal,
+        "conservation_exact": conservation,
+        "boundary_balanced": boundary_balanced,
+        "crossings_happened": crossings_happened,
+        "poison_crossed": poison_crossed,
+        "equivalent": equivalent,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def measure() -> dict:
+    scaling = {shards: measure_shard_count(shards) for shards in SHARD_COUNTS}
+    base = scaling[1]
+    throughput_scaling = {
+        shards: scaling[shards]["waves_per_second"] / base["waves_per_second"]
+        for shards in SHARD_COUNTS
+    }
+    wait_reduction = base["hottest_wait_seconds"] / max(
+        scaling[8]["hottest_wait_seconds"], WAIT_EPS)
+    accounting = measure_accounting()
+    waves_exact = all(s["waves_exact"] for s in scaling.values())
+    passed = (throughput_scaling[8] >= GATE_THROUGHPUT_8
+              and wait_reduction >= GATE_WAIT_REDUCTION
+              and accounting["equivalent"]
+              and waves_exact)
+    return {
+        "benchmark": "sharded_scale",
+        "threads": THREADS,
+        "ops_per_thread": OPS_PER_THREAD,
+        "notifies_per_op": NOTIFIES_PER_OP,
+        "rounds": ROUNDS,
+        "gates": {"throughput_scaling_8": GATE_THROUGHPUT_8,
+                  "wait_reduction_8": GATE_WAIT_REDUCTION},
+        "scaling": {str(k): v for k, v in scaling.items()},
+        "accounting": accounting,
+        "waves_exact": waves_exact,
+        "metrics": {
+            "throughput_scaling_2": throughput_scaling[2],
+            "throughput_scaling_4": throughput_scaling[4],
+            "throughput_scaling_8": throughput_scaling[8],
+            "wait_reduction_8": wait_reduction,
+            "waves_per_second_8": scaling[8]["waves_per_second"],
+            "accounting_equivalent": 1.0 if accounting["equivalent"] else 0.0,
+        },
+        "passed": passed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_sharded_scale.json",
+                        help="path of the JSON report (default: %(default)s)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a scaling gate fails or the "
+                             "execution modes disagree on accounting")
+    args = parser.parse_args(argv)
+
+    result = measure()
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"sharded scaling benchmark ({THREADS} threads, "
+          f"{OPS_PER_THREAD} ops/thread, best of {ROUNDS})")
+    for shards_str, data in result["scaling"].items():
+        scale = result["metrics"].get(f"throughput_scaling_{shards_str}", 1.0)
+        print(f"  {shards_str:>2} shard(s): "
+              f"{data['waves_per_second']:>10,.0f} waves/s  "
+              f"({scale:4.2f}x)   hottest graph-lock wait "
+              f"{data['hottest_wait_seconds']*1e3:8.1f} ms")
+    print(f"  wait reduction @8:  {result['metrics']['wait_reduction_8']:.1f}x "
+          f"(gate >= {GATE_WAIT_REDUCTION}x)")
+    print(f"  throughput @8:      {result['metrics']['throughput_scaling_8']:.2f}x "
+          f"(gate >= {GATE_THROUGHPUT_8}x)")
+    print(f"  accounting modes equivalent: "
+          f"{bool(result['metrics']['accounting_equivalent'])}")
+    print(f"  report: {args.output}")
+
+    if args.check and not result["passed"]:
+        acc = result["accounting"]
+        if not acc["equivalent"]:
+            reason = ("execution modes disagreed on cross-shard accounting "
+                      f"(per_shard_equal={acc['per_shard_equal']}, "
+                      f"conservation={acc['conservation_exact']}, "
+                      f"balanced={acc['boundary_balanced']})")
+        elif result["metrics"]["throughput_scaling_8"] < GATE_THROUGHPUT_8:
+            reason = "8-shard wave throughput below the 3x gate"
+        else:
+            reason = "8-shard lock-wait reduction below the 5x gate"
+        print(f"FAIL: {reason}", file=sys.stderr)
+        return 1
+    print("PASS" if result["passed"] else "(informational run, no --check)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

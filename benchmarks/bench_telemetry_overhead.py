@@ -87,7 +87,10 @@ class NoHooksEngine(PropagationEngine):
 
     def _run_wave(self, source, span: int = 0) -> None:
         self.wave_count += 1
-        wave = self._collect_wave(source)
+        # _collect_wave now also returns boundary edges; always empty in
+        # this single-shard workload, so dropping them keeps the body
+        # equivalent to the pre-telemetry original.
+        wave, _boundary = self._collect_wave(source)
         changed_ids = {id(source)}
         in_wave = {id(h) for h in wave}
         for handler in wave[1:]:

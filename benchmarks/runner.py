@@ -9,6 +9,7 @@ instead of eyeballing log output:
 * suite ``subscription`` (``bench_subscribe_many.py``) -> ``BENCH_subscription.json``
 * suite ``export``       (``bench_export.py``)       -> ``BENCH_export.json``
 * suite ``fault``        (``bench_fault_overhead.py``) -> ``BENCH_fault.json``
+* suite ``sharded``      (``bench_sharded_scale.py``) -> ``BENCH_sharded.json``
 
 Reports are written at the repository root (committed alongside the code
 they measure) and compared against the checked-in baselines in
@@ -129,6 +130,31 @@ SUITES: dict[str, dict] = {
                 "compare": False},
         },
     },
+    "sharded": {
+        "module": "bench_sharded_scale",
+        "source": "benchmarks/bench_sharded_scale.py",
+        "report": "BENCH_sharded.json",
+        "metrics": {
+            "throughput_scaling_2": {
+                "direction": "higher_is_better", "unit": "ratio",
+                "compare": False},
+            "throughput_scaling_4": {
+                "direction": "higher_is_better", "unit": "ratio",
+                "compare": False},
+            "throughput_scaling_8": {
+                "direction": "higher_is_better", "unit": "ratio",
+                "compare": True, "gate_min": 3.0},
+            "wait_reduction_8": {
+                "direction": "higher_is_better", "unit": "ratio",
+                "compare": False, "gate_min": 5.0},
+            "waves_per_second_8": {
+                "direction": "higher_is_better", "unit": "waves/s",
+                "compare": False},
+            "accounting_equivalent": {
+                "direction": "higher_is_better", "unit": "bool",
+                "compare": True, "gate_min": 1.0},
+        },
+    },
 }
 
 
@@ -213,6 +239,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", action="append", choices=sorted(SUITES),
                         help="suite(s) to run (default: all)")
+    parser.add_argument("--only", action="append", dest="suite",
+                        choices=sorted(SUITES), metavar="SUITE",
+                        help="alias of --suite: run just SUITE (repeatable); "
+                             "keeps perf-lane wall time flat when a CI step "
+                             "gates a single suite")
     parser.add_argument("--output-dir", default=str(REPO_ROOT),
                         help="directory for BENCH_*.json reports "
                              "(default: repository root)")

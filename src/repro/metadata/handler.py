@@ -356,7 +356,10 @@ class MetadataHandler:
                 return False
             self._dependents[id(dependent)] = dependent
         # Outside the dependents mutex (the engine mutex is a leaf lock):
-        # the dependent graph changed, so cached wave plans are stale.
+        # the dependent graph changed, so cached wave plans are stale.  The
+        # system hook keeps the inter-shard edge table in step when the
+        # edge crosses a shard boundary.
+        self.registry.system.edge_attached(self, dependent)
         self.registry.propagation.bump_topology()
         return True
 
@@ -364,6 +367,7 @@ class MetadataHandler:
         with self._dependents_mutex:
             detached = self._dependents.pop(id(dependent), None) is not None
         if detached:
+            self.registry.system.edge_detached(self, dependent)
             self.registry.propagation.bump_topology()
 
     def dependents(self) -> Sequence["MetadataHandler"]:

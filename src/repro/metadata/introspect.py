@@ -72,7 +72,8 @@ def describe_system(system: MetadataSystem) -> dict[str, Any]:
 
     telemetry = system.telemetry
     findings = verify_system(system, emit_telemetry=False)
-    return {
+    describe_shards = getattr(system, "describe_shards", None)
+    snapshot = {
         "stats": system.stats(),
         "telemetry": telemetry.describe() if telemetry is not None
         else {"enabled": False},
@@ -89,6 +90,9 @@ def describe_system(system: MetadataSystem) -> dict[str, Any]:
         },
         "registries": [describe_registry(r) for r in system.registries()],
     }
+    if describe_shards is not None:
+        snapshot["shards"] = describe_shards()
+    return snapshot
 
 
 def _describe_health(system: MetadataSystem) -> dict[str, Any]:

@@ -91,7 +91,10 @@ class NoOpLock:
 class LockPolicy:
     """Interface of lock policies; also usable as a registry of created locks."""
 
-    def graph_lock(self) -> Any:
+    def graph_lock(self, name: str = "graph") -> Any:
+        """Graph-level lock.  ``name`` distinguishes per-shard instances
+        (e.g. ``"graph:shard3"``); the lock-level prefix before the colon
+        keeps it at graph level in the hierarchy."""
         raise NotImplementedError
 
     def node_lock(self, owner: Any) -> Any:
@@ -123,8 +126,8 @@ class FineGrainedLockPolicy(LockPolicy):
         self._locks.append(lock)
         return lock
 
-    def graph_lock(self) -> ReentrantRWLock:
-        return self._new("graph")
+    def graph_lock(self, name: str = "graph") -> ReentrantRWLock:
+        return self._new(name)
 
     def node_lock(self, owner: Any) -> ReentrantRWLock:
         return self._new(f"node:{getattr(owner, 'name', owner)!s}")
@@ -160,7 +163,7 @@ class CoarseLockPolicy(LockPolicy):
     def __init__(self) -> None:
         self._lock = ReentrantRWLock("global")
 
-    def graph_lock(self) -> ReentrantRWLock:
+    def graph_lock(self, name: str = "graph") -> ReentrantRWLock:
         return self._lock
 
     def node_lock(self, owner: Any) -> ReentrantRWLock:
@@ -182,8 +185,8 @@ class CoarseLockPolicy(LockPolicy):
 class NoOpLockPolicy(LockPolicy):
     """No locking; correct only for single-threaded execution."""
 
-    def graph_lock(self) -> NoOpLock:
-        return NoOpLock("graph")
+    def graph_lock(self, name: str = "graph") -> NoOpLock:
+        return NoOpLock(name)
 
     def node_lock(self, owner: Any) -> NoOpLock:
         return NoOpLock(f"node:{getattr(owner, 'name', owner)!s}")

@@ -79,6 +79,22 @@ worker threads.  The engine therefore serializes waves across threads:
 Waves fired from within a running wave (a refresh that calls
 ``notify_changed``) are queued behind the current wave, preserving the
 original single-threaded run-to-completion semantics.
+
+Shard boundaries
+----------------
+
+Under a sharded metadata system (:mod:`repro.metadata.sharding`) every
+shard owns one engine.  The engine then carries a :attr:`router` and a
+:attr:`shard_index`; plan construction records dependent edges whose far
+end lives on a *foreign* shard as **boundary edges** instead of walking
+them, and wave execution forwards each changed (or poisoned) boundary
+crossing to the destination shard's engine through
+:meth:`remote_enqueued` — an enqueue, never a lock acquisition, so no
+thread ever holds two shards' structures mid-wave.  Remote arrivals are
+drained by the destination shard's own drainer as *continuation waves*
+(:meth:`_run_remote`), which preserve the originating span id for causal
+traces and keep the fault-containment law ``planned == refreshes +
+skipped_poisoned`` exact per shard (and therefore globally).
 """
 
 from __future__ import annotations
@@ -90,6 +106,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.common.errors import MetadataNotIncludedError
 from repro.telemetry.events import (
+    CrossShardHop,
     DrainHandoff,
     WaveCoalesced,
     WaveEnd,
@@ -105,9 +122,65 @@ from repro.telemetry.events import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.handler import MetadataHandler
+    from repro.metadata.sharding import ShardRouter
     from repro.telemetry.hub import Telemetry
 
-__all__ = ["PropagationEngine"]
+__all__ = ["PropagationBackend", "PropagationEngine"]
+
+
+class PropagationBackend:
+    """Interface of triggered-update propagation backends.
+
+    A backend owns the enqueue/drain/coalesce/plan-cache/topology-epoch
+    surface the registries and handlers program against:
+
+    * :meth:`value_changed` / :meth:`event_fired` / :meth:`events_fired` —
+      the enqueue entry points (each call is exactly one wave source),
+    * :meth:`bump_topology` / :attr:`topology_epoch` — the wiring-epoch
+      contract that keys every cached wave plan,
+    * :meth:`stats` — the exact-accounting counter snapshot,
+    * :attr:`telemetry` / :meth:`set_telemetry` — the single-attribute
+      observability hook (``None`` keeps hot paths to one ``is None``
+      check).
+
+    :class:`PropagationEngine` is the single-shard implementation;
+    :class:`~repro.metadata.sharding.ShardedPropagationBackend` fans the
+    same surface out over one engine per shard.  A future process-pool
+    backend only has to satisfy this interface.
+    """
+
+    #: Telemetry hub attached through :meth:`set_telemetry`; ``None`` keeps
+    #: every instrumentation hook to a single attribute check.
+    telemetry: "Telemetry | None"
+
+    def value_changed(self, source: "MetadataHandler") -> None:
+        """A handler's stored value changed; refresh dependents in order."""
+        raise NotImplementedError
+
+    def event_fired(self, source: "MetadataHandler") -> None:
+        """A manual event notification for ``source`` (Section 3.2.3)."""
+        raise NotImplementedError
+
+    def events_fired(self, sources: Sequence["MetadataHandler"]) -> None:
+        """Batch form of :meth:`event_fired` (one enqueue critical section)."""
+        raise NotImplementedError
+
+    @property
+    def topology_epoch(self) -> int:
+        """Current epoch of the dependency wiring (monotonically increasing)."""
+        raise NotImplementedError
+
+    def bump_topology(self) -> int:
+        """Advance the topology epoch, invalidating cached wave plans."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, int]:
+        """Mutually consistent counter snapshot (see :class:`PropagationEngine`)."""
+        raise NotImplementedError
+
+    def set_telemetry(self, telemetry: "Telemetry | None") -> None:
+        """Attach/detach the telemetry hub (fans out on multi-engine backends)."""
+        self.telemetry = telemetry
 
 #: One memoized wave-plan entry: the handler and its (deduplicated)
 #: structural predecessors *within the plan*.  Predecessors always precede
@@ -116,11 +189,12 @@ __all__ = ["PropagationEngine"]
 _PlanEntry = "tuple[MetadataHandler, tuple[MetadataHandler, ...]]"
 
 
-class PropagationEngine:
+class PropagationEngine(PropagationBackend):
     """Orders and executes triggered metadata updates.
 
-    One engine is shared by all registries of a metadata system, so waves
-    propagate across node boundaries (inter-node dependencies) and into
+    One engine is shared by all registries of a metadata system (or by all
+    registries of one *shard* under a sharded system), so waves propagate
+    across node boundaries (inter-node dependencies) and into
     exchangeable-module registries transparently.
     """
 
@@ -161,21 +235,38 @@ class PropagationEngine:
         self.skipped_poisoned_count = 0
         self.plan_hits = 0         # waves that reused a fresh cached plan
         self.plan_misses = 0       # waves that (re)built their plan
+        # Cross-shard accounting: entries this engine forwarded to foreign
+        # shards and entries it received from them.  At quiescence the sums
+        # across all shards balance (sum(remote_out) == sum(remote_in)).
+        self.remote_out_count = 0
+        self.remote_in_count = 0
+        self.remote_wave_count = 0  # continuation waves run for remote seeds
+        #: Sharding hooks, wired by ``ShardedPropagationBackend``.  ``None``
+        #: router = unsharded: every dependent is local and the boundary
+        #: machinery below compiles out to an always-empty tuple.
+        self.router: "ShardRouter | None" = None
+        self.shard_index = 0
         #: Telemetry hub attached by ``MetadataSystem.enable_telemetry``;
         #: ``None`` keeps every hook below to a single local-variable check.
-        self.telemetry: "Telemetry | None" = None
+        self.telemetry = None
         self._mutex = threading.Lock()
         # Queue entries are ``(source, span)``: the causal span id is
         # allocated when the change is *enqueued* (span 0 = telemetry off)
         # and travels with the wave so every hop/refresh it causes can be
         # traced back to the triggering event.
         self._pending: deque[tuple["MetadataHandler", int]] = deque()
+        # Cross-shard arrivals: ``(handler, origin, span, poisoned)`` as
+        # routed by a foreign shard's wave.  Drained by this engine's own
+        # drainer as continuation waves; counted into ``pending`` so
+        # quiescence checks cover both queues.
+        self._remote: deque[tuple["MetadataHandler", "MetadataHandler",
+                                  int, bool]] = deque()
         self._drainer: int | None = None  # ident of the thread running waves
-        # Wave-plan cache: id(source) -> (epoch, entries).  Guarded by
-        # ``_mutex``; cleared eagerly on every epoch bump so stale plans
-        # never pin excluded handlers in memory.
+        # Wave-plan cache: id(source) -> (epoch, entries, guarded, boundary).
+        # Guarded by ``_mutex``; cleared eagerly on every epoch bump so stale
+        # plans never pin excluded handlers in memory.
         self._topology_epoch = 0
-        self._plans: dict[int, tuple[int, list, bool]] = {}
+        self._plans: dict[int, tuple[int, list, bool, tuple]] = {}
 
     # -- public entry points -------------------------------------------------
 
@@ -243,22 +334,64 @@ class PropagationEngine:
             # only retires inside this mutex after observing an empty
             # queue.  Run-to-completion is preserved in both cases.
             return
+        self._drain(tel)
+
+    def remote_enqueued(self, handler: "MetadataHandler",
+                        origin: "MetadataHandler", span: int,
+                        poisoned: bool) -> None:
+        """Cross-shard arrival: a wave on ``origin``'s shard reached the
+        foreign ``handler`` owned by this engine's shard.
+
+        Called by the :class:`~repro.metadata.sharding.ShardRouter` from the
+        *sending* shard's drainer thread, which holds none of this engine's
+        locks — so the same drainer-handoff protocol as :meth:`_start`
+        applies: enqueue under the mutex, then either this thread becomes
+        the drainer (and runs the continuation wave inline) or the active
+        drainer is guaranteed to see the entry before retiring.  Re-entrant
+        routing (a continuation wave routing straight back) therefore
+        enqueues and returns — no lock cycles, no lost waves.
+        """
+        with self._mutex:
+            self._remote.append((handler, origin, span, poisoned))
+            acquired = self._drainer is None
+            if acquired:
+                self._drainer = threading.get_ident()
+        if not acquired:
+            return
+        self._drain(self.telemetry)
+
+    def _drain(self, tel: "Telemetry | None") -> None:
+        """Run waves until both queues are empty, then retire the drainer
+        role atomically with the emptiness check (see :meth:`_start`)."""
         batching = self.coalesce and self.ordered
         try:
             while True:
+                remote: "list[tuple[MetadataHandler, MetadataHandler, int, bool]] | None"
+                batch: "list[tuple[MetadataHandler, int]] | None"
                 with self._mutex:
-                    if not self._pending:
+                    if not self._pending and not self._remote:
                         # Retire atomically with the emptiness check: a
                         # concurrent _start either appended before we got
                         # the mutex (we loop again) or will acquire it
                         # after us and become the next drainer itself.
                         self._drainer = None
                         break
-                    if batching:
+                    if self._remote:
+                        remote = list(self._remote)
+                        self._remote.clear()
+                    else:
+                        remote = None
+                    if not self._pending:
+                        batch = None
+                    elif batching:
                         batch = list(self._pending)
                         self._pending.clear()
                     else:
                         batch = [self._pending.popleft()]
+                if remote is not None:
+                    self._run_remote(remote)
+                if batch is None:
+                    continue
                 if not self.ordered:
                     for next_source, next_span in batch:
                         self._run_naive(next_source, next_span)
@@ -287,7 +420,16 @@ class PropagationEngine:
         self._recurse_naive(source)
 
     def _recurse_naive(self, handler: "MetadataHandler") -> None:
+        router = self.router
         for dependent in handler.dependents():
+            if router is not None \
+                    and dependent.registry.shard_index != self.shard_index:
+                # Foreign dependent: hand off instead of recursing into
+                # another shard's handlers (the ablation keeps the
+                # enqueue-not-lock rule even though it ignores ordering).
+                self.remote_out_count += 1
+                router.route(dependent, handler, 0, False)
+                continue
             if dependent.removed or not dependent.on_dependency_changed(handler):
                 continue
             self.planned_count += 1
@@ -297,7 +439,7 @@ class PropagationEngine:
 
     # -- plan construction and caching ------------------------------------------
 
-    def _build_plan(self, seeds: "list[MetadataHandler]") -> list:
+    def _build_plan(self, seeds: "list[MetadataHandler]") -> "tuple[list, tuple]":
         """Structural wave plan: the dependent closure of ``seeds``,
         topologically ordered, with per-entry predecessor tuples.
 
@@ -305,7 +447,16 @@ class PropagationEngine:
         guarantees that within the plan every handler appears after all of
         its in-plan dependencies.  Reaction hooks are *not* consulted — the
         plan is pure structure; hooks run at execution time, once per edge.
+
+        Returns ``(entries, boundary)``: dependent edges whose far end
+        lives on a foreign shard are *not* walked — they are recorded as
+        ``(local, foreign)`` boundary pairs for :meth:`_route_boundary`, so
+        the plan never contains another shard's handlers.  ``boundary`` is
+        always empty while :attr:`router` is ``None``.
         """
+        router = self.router
+        shard = self.shard_index
+        boundary: dict[tuple[int, int], tuple] = {}
         depth: dict[int, int] = {id(s): 0 for s in seeds}
         handlers: dict[int, "MetadataHandler"] = {id(s): s for s in seeds}
         preds: dict[int, dict[int, "MetadataHandler"]] = {id(s): {} for s in seeds}
@@ -318,6 +469,10 @@ class PropagationEngine:
                 d = depth[id(handler)] + 1
                 for dependent in handler.dependents():
                     did = id(dependent)
+                    if router is not None \
+                            and dependent.registry.shard_index != shard:
+                        boundary[(id(handler), did)] = (handler, dependent)
+                        continue
                     preds.setdefault(did, {})[id(handler)] = handler
                     if did not in depth:
                         depth[did] = d
@@ -329,18 +484,24 @@ class PropagationEngine:
             frontier = next_frontier
         # dict preserves discovery order; the stable sort keeps it for ties.
         order = sorted(handlers, key=lambda h: depth[h])
-        return [(handlers[h], tuple(preds[h].values())) for h in order]
+        return ([(handlers[h], tuple(preds[h].values())) for h in order],
+                tuple(boundary.values()))
 
-    def _plan_entries(self, source: "MetadataHandler") -> "tuple[list, bool]":
-        """Cached ``(plan, guarded)`` for ``source``, rebuilt when the
-        topology epoch moved.
+    def _plan_entries(
+        self, source: "MetadataHandler"
+    ) -> "tuple[list, bool, tuple]":
+        """Cached ``(plan, guarded, boundary)`` for ``source``, rebuilt when
+        the topology epoch moved.
 
         ``guarded`` records whether any plan member carries a circuit
         breaker.  A breaker exists exactly when the definition had a
         failure policy, fixed at handler creation — so the flag is as
         stable as the plan itself and lets the fast path skip per-refresh
         breaker reads entirely on policy-free topologies (the common case
-        the no-policy overhead gate protects).
+        the no-policy overhead gate protects).  ``boundary`` is the plan's
+        cross-shard edge set (see :meth:`_build_plan`), as stable as the
+        plan: attaching or detaching a cross-shard dependent bumps the
+        epoch like any other wiring change.
         """
         sid = id(source)
         with self._mutex:
@@ -348,27 +509,36 @@ class PropagationEngine:
             cached = self._plans.get(sid)
             if cached is not None and cached[0] == epoch:
                 self.plan_hits += 1
-                return cached[1], cached[2]
+                return cached[1], cached[2], cached[3]
             self.plan_misses += 1
-        entries = self._build_plan([source])
+        entries, boundary = self._build_plan([source])
         guarded = any(h.breaker is not None for h, _ in entries)
         with self._mutex:
             # A concurrent wiring change since the epoch was sampled makes
             # this plan stale on arrival: run it (same hazard the uncached
             # engine has between collection and execution) but do not cache.
             if self._topology_epoch == epoch:
-                self._plans[sid] = (epoch, entries, guarded)
-        return entries, guarded
+                self._plans[sid] = (epoch, entries, guarded, boundary)
+        return entries, guarded, boundary
 
-    def _collect_wave(self, source: "MetadataHandler") -> list["MetadataHandler"]:
+    def _collect_wave(
+        self, source: "MetadataHandler"
+    ) -> "tuple[list[MetadataHandler], tuple]":
         """Triggered-handler closure of ``source``, topologically ordered —
         the uncached path (``plan_cache=False``), kept as the benchmark
         baseline and the reference semantics.
 
         Ordering uses longest-path depth from the source over dependent
         edges, which guarantees that within the wave every handler appears
-        after all of its in-wave dependencies.
+        after all of its in-wave dependencies.  Foreign-shard dependents
+        are recorded as boundary edges exactly like :meth:`_build_plan`
+        does — structurally, without consulting their reaction hooks, which
+        run on the owning shard when the routed entry is processed — so
+        cached and uncached execution stay accounting-equivalent.
         """
+        router = self.router
+        shard = self.shard_index
+        boundary: dict[tuple[int, int], tuple] = {}
         depth: dict[int, int] = {id(source): 0}
         handlers: dict[int, "MetadataHandler"] = {id(source): source}
         # Relaxation revisits a handler's dependents every time its depth
@@ -383,6 +553,10 @@ class PropagationEngine:
             for handler in frontier:
                 for dependent in handler.dependents():
                     edge = (id(handler), id(dependent))
+                    if router is not None \
+                            and dependent.registry.shard_index != shard:
+                        boundary[edge] = (handler, dependent)
+                        continue
                     wanted = wants_refresh.get(edge)
                     if wanted is None:
                         wanted = bool(dependent.on_dependency_changed(handler))
@@ -399,7 +573,8 @@ class PropagationEngine:
                         next_frontier.append(dependent)
             frontier = next_frontier
         # dict preserves discovery order; the stable sort keeps it for ties.
-        return [handlers[h] for h in sorted(handlers, key=lambda h: depth[h])]
+        return ([handlers[h] for h in sorted(handlers, key=lambda h: depth[h])],
+                tuple(boundary.values()))
 
     def _materialize(self, entries: list, seed_ids: "set[int]"):
         """Effective wave of a structural plan under current hook results.
@@ -432,15 +607,15 @@ class PropagationEngine:
         self.drain_count += 1
         tel = self.telemetry
         if self.plan_cache:
-            entries, guarded = self._plan_entries(source)
+            entries, guarded, boundary = self._plan_entries(source)
             if tel is None:
-                self._execute_plan_fast(entries, source, guarded)
+                self._execute_plan_fast(entries, source, guarded, boundary)
                 return
             wave, in_wave = self._materialize(entries, {id(source)})
         else:
-            wave = self._collect_wave(source)
+            wave, boundary = self._collect_wave(source)
             in_wave = {id(h) for h in wave}
-        self._execute_wave(wave, in_wave, [source], span)
+        self._execute_wave(wave, in_wave, [source], span, boundary=boundary)
 
     def _run_coalesced(self, batch: "list[tuple[MetadataHandler, int]]") -> None:
         """One multi-source wave for every source queued at drain time.
@@ -472,12 +647,13 @@ class PropagationEngine:
                 tel.emit(WaveCoalesced(span=span, node=node_of(source),
                                        key=key_of(source.key),
                                        source_span=source_span))
-        entries = self._build_plan(seeds)
+        entries, boundary = self._build_plan(seeds)
         wave, in_wave = self._materialize(entries, seen)
-        self._execute_wave(wave, in_wave, seeds, span)
+        self._execute_wave(wave, in_wave, seeds, span, boundary=boundary)
 
     def _execute_plan_fast(self, entries: list, source: "MetadataHandler",
-                           guarded: bool = True) -> None:
+                           guarded: bool = True,
+                           boundary: tuple = ()) -> None:
         """Untraced single-source execution of a cached plan: one linear
         pass deciding membership, change-cut suppression and refreshes.
 
@@ -545,20 +721,32 @@ class PropagationEngine:
             self.suppressed_count += suppressed
             self.planned_count += refreshes + skipped
             self.skipped_poisoned_count += skipped
+        # Counters are flushed before routing: a routed entry may drain the
+        # destination shard inline on this thread, and that continuation
+        # must observe this wave's accounting as complete.
+        self._route_boundary(boundary, changed, poisoned, 0)
 
     def _execute_wave(self, wave: "list[MetadataHandler]", in_wave: "set[int]",
-                      seeds: "list[MetadataHandler]", span: int = 0) -> None:
+                      seeds: "list[MetadataHandler]", span: int = 0,
+                      poisoned_seed_ids: "frozenset[int] | set[int]" = frozenset(),
+                      boundary: tuple = ()) -> None:
         tel = self.telemetry
         seed_ids = {id(s) for s in seeds}
-        changed_ids = set(seed_ids)
-        poisoned: set[int] = set()
+        # Remote continuation waves seed poisoned handlers (their cross-shard
+        # input was poisoned): they are wave members so poison spreads to
+        # their dependents, but they are *not* changed-by-fiat like ordinary
+        # seeds — they kept their stale value.
+        changed_ids = seed_ids - poisoned_seed_ids
+        poisoned: set[int] = set(poisoned_seed_ids)
         first = seeds[0]
         if tel is not None:
             refreshed = suppressed = errors = poisoned_n = 0
             wave_t0 = time.monotonic()
             tel.emit(WaveStart(span=span, node=node_of(first),
                                key=key_of(first.key), wave_size=len(wave),
-                               sources=len(seed_ids)))
+                               sources=len(seed_ids),
+                               shard=self.shard_index
+                               if self.router is not None else -1))
         for handler in wave:
             is_seed = id(handler) in seed_ids
             if handler.removed:
@@ -568,6 +756,13 @@ class PropagationEngine:
                     tel.emit(WaveSuppressed(span=span, node=node_of(handler),
                                             key=key_of(handler.key),
                                             reason="removed"))
+                continue
+            if is_seed and id(handler) in poisoned:
+                # A poisoned remote seed was already accounted (planned +
+                # skipped_poisoned) by _run_remote; it participates in the
+                # wave only to spread poison to its dependent subtree —
+                # even when another seed changed one of its local inputs,
+                # its cross-shard input is still stale.
                 continue
             # Poison spreads before anything else: an in-wave dependency that
             # kept its stale value makes a recompute here read half-updated
@@ -683,6 +878,143 @@ class PropagationEngine:
                              suppressed=suppressed, errors=errors,
                              poisoned=poisoned_n,
                              duration=time.monotonic() - wave_t0))
+        self._route_boundary(boundary, changed_ids, poisoned, span)
+
+    # -- cross-shard hand-off ----------------------------------------------------
+
+    def _route_boundary(self, boundary: tuple, changed_ids: "set[int]",
+                        poisoned: "set[int]", span: int) -> None:
+        """Forward this wave's boundary crossings to their owning shards.
+
+        One routed entry per foreign dependent whose local dependency
+        either changed (a change crossing) or was poisoned (a poison
+        crossing); poison dominates when several local dependencies feed
+        the same foreign handler.  Routing is an enqueue on the
+        destination engine — never a lock acquisition on its hierarchy —
+        and runs *after* this wave's counters settled, so an inline
+        continuation drain observes consistent accounting.
+        """
+        router = self.router
+        if router is None or not boundary:
+            return
+        votes: dict[int, tuple] = {}
+        for local, foreign in boundary:
+            lid = id(local)
+            if lid in poisoned:
+                current = votes.get(id(foreign))
+                if current is None or not current[2]:
+                    votes[id(foreign)] = (foreign, local, True)
+            elif lid in changed_ids:
+                votes.setdefault(id(foreign), (foreign, local, False))
+        tel = self.telemetry
+        for foreign, local, poison in votes.values():
+            if foreign.removed:
+                continue
+            self.remote_out_count += 1
+            if tel is not None:
+                tel.emit(CrossShardHop(
+                    span=span, from_shard=self.shard_index,
+                    to_shard=foreign.registry.shard_index,
+                    from_node=node_of(local), from_key=key_of(local.key),
+                    to_node=node_of(foreign), to_key=key_of(foreign.key),
+                    poisoned=poison))
+            router.route(foreign, local, span, poison)
+
+    def _run_remote(self, batch: "list[tuple[MetadataHandler, MetadataHandler, int, bool]]") -> None:
+        """Process cross-shard arrivals as one continuation wave.
+
+        Entries are deduplicated per foreign handler (several shards, or
+        several waves, may have routed the same dependent; poison
+        dominates a concurrent change vote).  Each surviving entry is the
+        far end of a dependency edge whose near end changed on another
+        shard, so it is *planned* exactly like an in-wave member: it
+        either refreshes, or is skipped as poisoned (stale cross-shard
+        input, or its own quarantined circuit) — ``planned == refreshes +
+        skipped_poisoned`` stays exact on this shard's counters alone.
+        Changed and poisoned results then seed one ordered local wave over
+        their dependent closures, which may route further boundary
+        crossings itself.  The same code path serves all four
+        cached/uncached × traced/untraced modes, so their accounting is
+        identical by construction.
+        """
+        self.remote_in_count += len(batch)
+        merged: dict[int, list] = {}
+        for handler, origin, span, poisoned in batch:
+            entry = merged.get(id(handler))
+            if entry is None:
+                merged[id(handler)] = [handler, origin, span, poisoned]
+            elif poisoned and not entry[3]:
+                entry[3] = True
+        tel = self.telemetry
+        seeds: "list[MetadataHandler]" = []
+        poisoned_ids: set[int] = set()
+        span = batch[0][2]
+        for handler, origin, entry_span, poisoned in merged.values():
+            if handler.removed or not handler.on_dependency_changed(origin):
+                continue
+            self.planned_count += 1
+            if poisoned:
+                self.skipped_poisoned_count += 1
+                poisoned_ids.add(id(handler))
+                seeds.append(handler)
+                if tel is not None:
+                    tel.emit(WavePoisoned(span=entry_span,
+                                          node=node_of(handler),
+                                          key=key_of(handler.key),
+                                          reason="poisoned-input"))
+                continue
+            breaker = handler.breaker
+            if breaker is not None and breaker.attempt_blocked():
+                self.skipped_poisoned_count += 1
+                poisoned_ids.add(id(handler))
+                seeds.append(handler)
+                if tel is not None:
+                    tel.emit(WavePoisoned(span=entry_span,
+                                          node=node_of(handler),
+                                          key=key_of(handler.key),
+                                          reason="quarantined"))
+                continue
+            self.refresh_count += 1
+            errors_before = self.error_count
+            suppressed_before = self.suppressed_count
+            t0 = time.monotonic() if tel is not None else 0.0
+            changed = self._recompute(handler)
+            if self.suppressed_count > suppressed_before:
+                # Excluded between routing and processing — the same
+                # concurrent-unsubscribe hazard an in-wave member has.
+                if tel is not None:
+                    tel.emit(WaveSuppressed(span=entry_span,
+                                            node=node_of(handler),
+                                            key=key_of(handler.key),
+                                            reason="excluded"))
+                continue
+            error = self.error_count > errors_before
+            if error:
+                poisoned_ids.add(id(handler))
+                seeds.append(handler)
+                if tel is not None:
+                    tel.emit(WavePoisoned(span=entry_span,
+                                          node=node_of(handler),
+                                          key=key_of(handler.key),
+                                          reason="compute-failed"))
+            elif changed:
+                seeds.append(handler)
+            if tel is not None:
+                tel.emit(WaveRefresh(span=entry_span, node=node_of(handler),
+                                     key=key_of(handler.key), changed=changed,
+                                     error=error,
+                                     duration=time.monotonic() - t0))
+        if not seeds:
+            return
+        self.remote_wave_count += 1
+        seed_ids = {id(s) for s in seeds}
+        if self.plan_cache and len(seeds) == 1:
+            entries, _, boundary = self._plan_entries(seeds[0])
+        else:
+            entries, boundary = self._build_plan(seeds)
+        wave, in_wave = self._materialize(entries, seed_ids)
+        self._execute_wave(wave, in_wave, seeds, span,
+                           poisoned_seed_ids=poisoned_ids, boundary=boundary)
 
     def _recompute(self, handler: "MetadataHandler") -> bool:
         """Best-effort recompute: a failing provider keeps its old value and
@@ -719,7 +1051,10 @@ class PropagationEngine:
                 "errors": self.error_count,
                 "planned": self.planned_count,
                 "skipped_poisoned": self.skipped_poisoned_count,
-                "pending": len(self._pending),
+                "remote_in": self.remote_in_count,
+                "remote_out": self.remote_out_count,
+                "remote_waves": self.remote_wave_count,
+                "pending": len(self._pending) + len(self._remote),
                 "topology_epoch": self._topology_epoch,
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import logging
 import threading
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.common.clock import Clock
@@ -55,7 +56,7 @@ from repro.metadata.item import (
 )
 from repro.metadata.locks import LockPolicy, NoOpLockPolicy
 from repro.metadata.monitor import Probe
-from repro.metadata.propagation import PropagationEngine
+from repro.metadata.propagation import PropagationBackend, PropagationEngine
 from repro.metadata.scheduling import PeriodicScheduler
 from repro.telemetry.events import (
     ExcludeEvent,
@@ -89,13 +90,17 @@ class MetadataSystem:
         clock: Clock,
         scheduler: PeriodicScheduler,
         lock_policy: LockPolicy | None = None,
-        propagation: PropagationEngine | None = None,
+        propagation: PropagationBackend | None = None,
     ) -> None:
         self.clock = clock
         self.scheduler = scheduler
         self.lock_policy = lock_policy if lock_policy is not None else NoOpLockPolicy()
         self.propagation = propagation if propagation is not None else PropagationEngine()
         self.structure_lock = self.lock_policy.graph_lock()
+        #: Number of graph partitions.  1 on the base system; a
+        #: :class:`~repro.metadata.sharding.ShardedMetadataSystem` overrides
+        #: the shard hooks below and sets this to N.
+        self.shard_count = 1
         #: Off-by-default observability (see :mod:`repro.telemetry`).  While
         #: ``None``, every instrumentation hook in the runtime is a single
         #: ``is None`` check — the paper's probe discipline (Section 4.4.1)
@@ -140,6 +145,43 @@ class MetadataSystem:
         with self._accounting_mutex:
             return tuple(self._registries)
 
+    # -- shard hooks ------------------------------------------------------------
+    #
+    # The base system is a single shard; every hook below degenerates to the
+    # one global graph lock.  ShardedMetadataSystem overrides them so that a
+    # registry only ever contends on the lock hierarchy of the shard its
+    # owner hashes to.
+
+    def shard_of(self, owner: Any) -> int:
+        """Shard index an owner's registry is placed on (always 0 here)."""
+        return 0
+
+    def structure_lock_for(self, registry: "MetadataRegistry"):
+        """The graph-level lock guarding ``registry``'s shard."""
+        return self.structure_lock
+
+    @contextmanager
+    def structure_scope(self, registry: "MetadataRegistry",
+                        keys: Sequence[MetadataKey] | None = None,
+                        handler: MetadataHandler | None = None) -> Iterator[None]:
+        """Write-scope for a structural mutation rooted at ``registry``.
+
+        ``keys`` (subscribe) or ``handler`` (unsubscribe) describe the
+        operation's root so a sharded system can pre-compute the set of
+        shards the closure touches and lock only those, in ascending shard
+        order.  The single-shard base just takes the one graph write lock.
+        """
+        with self.structure_lock.write():
+            yield
+
+    def edge_attached(self, dependency: MetadataHandler,
+                      dependent: MetadataHandler) -> None:
+        """Hook: a dependency edge was created (may cross shards)."""
+
+    def edge_detached(self, dependency: MetadataHandler,
+                      dependent: MetadataHandler) -> None:
+        """Hook: a dependency edge was removed (may cross shards)."""
+
     def enable_telemetry(self, capacity: int = 4096) -> Telemetry:
         """Attach (or return the already-attached) telemetry hub.
 
@@ -150,7 +192,7 @@ class MetadataSystem:
         if self.telemetry is None:
             telemetry = Telemetry(self.clock, capacity)
             self.telemetry = telemetry
-            self.propagation.telemetry = telemetry
+            self.propagation.set_telemetry(telemetry)
             self.scheduler.telemetry = telemetry
         return self.telemetry
 
@@ -163,7 +205,7 @@ class MetadataSystem:
         """
         telemetry = self.telemetry
         self.telemetry = None
-        self.propagation.telemetry = None
+        self.propagation.set_telemetry(None)
         self.scheduler.telemetry = None
         if telemetry is not None:
             telemetry.close_exporters()
@@ -281,6 +323,9 @@ class MetadataRegistry:
     def __init__(self, owner: Any, system: MetadataSystem) -> None:
         self.owner = owner
         self.system = system
+        #: Index of the shard this registry's handlers live on — fixed at
+        #: creation (hash placement by owner, Section 3.2.3 at scale).
+        self.shard_index = system.shard_of(owner)
         self._definitions: dict[MetadataKey, MetadataDefinition] = {}
         self._handlers: dict[MetadataKey, MetadataHandler] = {}
         self._probes: dict[str, Probe] = {}
@@ -298,7 +343,7 @@ class MetadataRegistry:
         return self.system.scheduler
 
     @property
-    def propagation(self) -> PropagationEngine:
+    def propagation(self) -> PropagationBackend:
         return self.system.propagation
 
     @property
@@ -315,7 +360,7 @@ class MetadataRegistry:
         dependencies — as long as the item is not currently included.
         """
         key = definition.key
-        with self.system.structure_lock.write():
+        with self.system.structure_lock_for(self).write():
             if key in self._definitions and not override:
                 raise DuplicateMetadataError(
                     f"metadata item {key!r} already defined on {self._owner_name()}; "
@@ -330,7 +375,7 @@ class MetadataRegistry:
 
     def undefine(self, key: MetadataKey) -> None:
         """Withdraw a published item (must not be included)."""
-        with self.system.structure_lock.write():
+        with self.system.structure_lock_for(self).write():
             if key in self._handlers:
                 raise MetadataError(
                     f"cannot undefine {key!r} on {self._owner_name()} while it is included"
@@ -342,7 +387,7 @@ class MetadataRegistry:
 
     def add_probe(self, probe: Probe) -> Probe:
         """Register a monitoring probe referenced by definitions' ``monitors``."""
-        with self.system.structure_lock.write():
+        with self.system.structure_lock_for(self).write():
             if probe.name in self._probes:
                 raise DuplicateMetadataError(
                     f"probe {probe.name!r} already registered on {self._owner_name()}"
@@ -399,7 +444,7 @@ class MetadataRegistry:
             span = tel.bus.new_span()
             tel.emit(SubscribeEvent(span=span, node=self._owner_name(),
                                     key=key_of(key)))
-        with self.system.structure_lock.write():
+        with self.system.structure_scope(self, keys=[key]):
             handler = self._include(key, [], span)
             handler.consumer_count += 1
             return MetadataSubscription(self, handler)
@@ -430,7 +475,7 @@ class MetadataRegistry:
                 tel.emit(SubscribeEvent(span=span, node=self._owner_name(),
                                         key=key_of(key)))
         subscriptions: list["MetadataSubscription"] = []
-        with self.system.structure_lock.write():
+        with self.system.structure_scope(self, keys=keys):
             included: list[MetadataHandler] = []
             try:
                 for key in keys:
@@ -459,7 +504,7 @@ class MetadataRegistry:
             span = tel.bus.new_span()
             tel.emit(UnsubscribeEvent(span=span, node=self._owner_name(),
                                       key=key_of(handler.key)))
-        with self.system.structure_lock.write():
+        with self.system.structure_scope(self, handler=handler):
             handler.consumer_count -= 1
             self._exclude(handler.key, span)
 

@@ -36,6 +36,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metadata.handler import PeriodicHandler
     from repro.telemetry.hub import Telemetry
 
+
+def _shard_of(handler: Any) -> int:
+    """Shard index for telemetry attribution; -1 on unsharded systems.
+
+    Deliberately lenient (tests register bare fake handlers without a
+    registry/system chain).
+    """
+    registry = getattr(handler, "registry", None)
+    system = getattr(registry, "system", None)
+    if getattr(system, "shard_count", 1) > 1:
+        return getattr(registry, "shard_index", 0)
+    return -1
+
 __all__ = ["PeriodicTask", "PeriodicScheduler", "VirtualTimeScheduler", "ThreadedScheduler"]
 
 #: A periodic refresh outliving the unregister backstop is a hung compute —
@@ -159,7 +172,8 @@ class VirtualTimeScheduler(PeriodicScheduler):
                                           key=key_of(task.handler.key),
                                           queue_latency=lateness,
                                           duration=time.monotonic() - t0,
-                                          error=error, mode=self.mode))
+                                          error=error, mode=self.mode,
+                                          shard=_shard_of(task.handler)))
             if not task.cancelled:
                 self._rearm(task, deadline, error)
 
@@ -391,7 +405,8 @@ class ThreadedScheduler(PeriodicScheduler):
                                           key=key_of(task.handler.key),
                                           queue_latency=lateness,
                                           duration=time.monotonic() - t0,
-                                          error=error, mode=self.mode))
+                                          error=error, mode=self.mode,
+                                          shard=_shard_of(task.handler)))
                 if error and rearm_delay is not None:
                     breaker = task.handler.breaker
                     tel.emit(RetryScheduled(

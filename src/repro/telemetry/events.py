@@ -56,6 +56,7 @@ __all__ = [
     "WaveSuppressed",
     "WavePoisoned",
     "WaveEnd",
+    "CrossShardHop",
     "SchedulerRefresh",
     "SchedulerCancel",
     "HandlerFailure",
@@ -227,13 +228,16 @@ class WaveCoalesced(TraceEvent):
 @dataclass(slots=True)
 class WaveStart(TraceEvent):
     """``sources > 1`` marks a coalesced multi-source wave; ``node``/``key``
-    identify the first contributing source."""
+    identify the first contributing source.  ``shard`` is the index of the
+    shard whose engine runs the wave (-1 on unsharded systems), feeding the
+    per-shard wave counters."""
 
     kind = "wave.start"
     node: str = ""
     key: str = ""
     wave_size: int = 0
     sources: int = 1
+    shard: int = -1
 
 
 @dataclass(slots=True)
@@ -303,6 +307,26 @@ class WaveEnd(TraceEvent):
 
 
 @dataclass(slots=True)
+class CrossShardHop(TraceEvent):
+    """A wave crossed a shard boundary: instead of taking the foreign
+    shard's locks, the source shard enqueued the dependent into the
+    destination shard's propagation queue.  ``span`` is the originating
+    wave's span — it travels with the enqueued entry, so the causal trace
+    continues through the remote continuation wave.  ``poisoned`` marks
+    hops that carry poison (the local dependency kept a stale value) rather
+    than a change."""
+
+    kind = "wave.cross_shard"
+    from_shard: int = 0
+    to_shard: int = 0
+    from_node: str = ""
+    from_key: str = ""
+    to_node: str = ""
+    to_key: str = ""
+    poisoned: bool = False
+
+
+@dataclass(slots=True)
 class SchedulerRefresh(TraceEvent):
     """One periodic-scheduler tick: ``queue_latency`` is how far past its
     deadline the refresh started (the paper's *lateness*), ``duration`` the
@@ -317,6 +341,9 @@ class SchedulerRefresh(TraceEvent):
     #: which scheduler ran the tick (``virtual`` / ``threaded``) — errors
     #: aggregate into ``scheduler_refresh_errors_total{mode=...}``.
     mode: str = ""
+    #: owning shard of the refreshed handler (-1 on unsharded systems), so
+    #: periodic load is attributable per shard alongside the wave counters.
+    shard: int = -1
 
 
 @dataclass(slots=True)

@@ -124,6 +124,15 @@ class Telemetry:
         elif isinstance(event, ev.WaveStart):
             m.counter("waves_total").inc()
             m.histogram("wave_size", bounds=SIZE_BOUNDS).observe(event.wave_size)
+            if event.shard >= 0:
+                m.counter("shard_waves_total",
+                          {"shard": str(event.shard)}).inc()
+        elif isinstance(event, ev.CrossShardHop):
+            m.counter("cross_shard_hops_total",
+                      {"from_shard": str(event.from_shard),
+                       "to_shard": str(event.to_shard)}).inc()
+            if event.poisoned:
+                m.counter("cross_shard_poison_hops_total").inc()
         elif isinstance(event, ev.WaveEnd):
             m.histogram("wave_duration_seconds").observe(event.duration)
         elif isinstance(event, ev.WaveEnqueued):
@@ -134,6 +143,9 @@ class Telemetry:
             m.counter("drain_handoffs_total").inc()
         elif isinstance(event, ev.SchedulerRefresh):
             m.counter("scheduler_refreshes_total", {"node": event.node}).inc()
+            if event.shard >= 0:
+                m.counter("shard_scheduler_refreshes_total",
+                          {"shard": str(event.shard)}).inc()
             m.histogram("scheduler_queue_latency").observe(event.queue_latency)
             m.histogram("scheduler_run_duration_seconds").observe(event.duration)
             if event.error:

@@ -27,6 +27,7 @@ from repro.metadata.locks import FineGrainedLockPolicy
 from repro.metadata.propagation import PropagationEngine
 from repro.metadata.registry import MetadataRegistry, MetadataSystem
 from repro.metadata.scheduling import ThreadedScheduler, VirtualTimeScheduler
+from repro.metadata.sharding import system_from_env
 from repro.reliability import FailurePolicy
 from repro.telemetry.hub import explain_refresh
 
@@ -255,8 +256,8 @@ class TestPoisoningUnderChurnStress:
     def test_invariant_survives_chaos(self):
         clock = SystemClock()
         scheduler = ThreadedScheduler(clock, pool_size=2)
-        system = MetadataSystem(clock, scheduler,
-                                lock_policy=FineGrainedLockPolicy())
+        system = system_from_env(clock, scheduler,
+                                 lock_policy=FineGrainedLockPolicy())
 
         class Owner:
             name = "chaos"

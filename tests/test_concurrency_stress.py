@@ -34,6 +34,7 @@ from repro.metadata.item import (
 from repro.metadata.locks import FineGrainedLockPolicy
 from repro.metadata.registry import MetadataRegistry, MetadataSystem
 from repro.metadata.scheduling import ThreadedScheduler, VirtualTimeScheduler
+from repro.metadata.sharding import system_from_env
 
 pytestmark = pytest.mark.stress
 
@@ -80,7 +81,7 @@ class TestNoLostWaves:
 
     def test_concurrent_notify_changed_accounts_every_wave(self):
         clock = VirtualClock()
-        system = MetadataSystem(
+        system = system_from_env(
             clock,
             VirtualTimeScheduler(clock),
             lock_policy=FineGrainedLockPolicy(),
@@ -128,7 +129,7 @@ class TestMixedWorkloadStress:
     def test_pool_of_four_with_churn_and_events(self):
         clock = SystemClock()
         scheduler = ThreadedScheduler(clock, pool_size=4)
-        system = MetadataSystem(
+        system = system_from_env(
             clock, scheduler, lock_policy=FineGrainedLockPolicy()
         )
         node_a = _attach_registry(system, "a")
@@ -221,7 +222,7 @@ class TestSchedulerCancelRace:
     def test_no_fire_after_cancel_returns(self):
         clock = SystemClock()
         scheduler = ThreadedScheduler(clock, pool_size=4)
-        system = MetadataSystem(
+        system = system_from_env(
             clock, scheduler, lock_policy=FineGrainedLockPolicy()
         )
         owner = _attach_registry(system, "node")
